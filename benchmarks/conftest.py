@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one paper artifact on the same cached trace
+(seed 7, scale 0.25) and records its paper-vs-measured comparison in
+``benchmark.extra_info`` so the numbers appear in ``--benchmark-json``
+output as well as the console table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.generator import GeneratorConfig, generate_trace_pair
+
+BENCH_SEED = 7
+BENCH_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def trace():
+    """The shared private+public trace all figure benchmarks analyze."""
+    return generate_trace_pair(GeneratorConfig(seed=BENCH_SEED, scale=BENCH_SCALE))
+
+
+def record_checks(benchmark, result) -> None:
+    """Attach an ExperimentResult's checks to the benchmark record."""
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["passed"] = result.passed
+    for check in result.checks:
+        benchmark.extra_info[check.name] = (
+            f"paper={check.paper} measured={check.measured}"
+        )
+    assert result.passed, "\n" + result.render()

@@ -1,0 +1,77 @@
+"""Ablation: placement policy vs allocation failures and fault tolerance.
+
+Insight 1's implication: homogeneous private clusters with fault-domain
+spreading are "more prone to allocation failures, especially when clusters
+are reaching capacity limits".  This ablation drives an under-provisioned
+private fleet with each placement policy and compares (a) allocation
+failures and (b) the rack spread of large deployments (the fault-tolerance
+property BEST_FIT sacrifices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cloud.allocator import PlacementPolicy
+from repro.telemetry.schema import Cloud, EventKind
+from repro.workloads.generator import GeneratorConfig, TraceGenerator
+from repro.workloads.profiles import private_profile
+
+#: Deliberately tight fleet so placement pressure is real.
+TIGHT_PROFILE = replace(
+    private_profile(),
+    clusters_per_region=1,
+    racks_per_cluster=3,
+    nodes_per_rack=3,
+)
+
+
+def generate_with_policy(policy: PlacementPolicy):
+    config = GeneratorConfig(
+        seed=17, scale=0.2, synthesize_utilization=False, placement_policy=policy
+    )
+    return TraceGenerator(TIGHT_PROFILE, config).generate()
+
+
+@pytest.mark.parametrize(
+    "policy", [PlacementPolicy.SPREAD, PlacementPolicy.BEST_FIT, PlacementPolicy.RANDOM]
+)
+def test_policy_under_pressure(benchmark, policy):
+    """Failures and rack spread of one placement policy under pressure."""
+    store = benchmark.pedantic(generate_with_policy, args=(policy,), rounds=2, iterations=1)
+    failures = len(store.events(kind=EventKind.ALLOCATION_FAILURE, cloud=Cloud.PRIVATE))
+    # Rack spread of the largest deployments (fault-tolerance proxy).
+    from collections import defaultdict
+
+    racks_by_deployment: dict[int, set] = defaultdict(set)
+    sizes: dict[int, int] = defaultdict(int)
+    for vm in store.vms():
+        racks_by_deployment[vm.deployment_id].add(vm.rack_id)
+        sizes[vm.deployment_id] += 1
+    large = [d for d, n in sizes.items() if n >= 3]
+    mean_spread = (
+        sum(len(racks_by_deployment[d]) for d in large) / len(large) if large else 0.0
+    )
+    benchmark.extra_info["policy"] = policy.value
+    benchmark.extra_info["allocation_failures"] = failures
+    benchmark.extra_info["mean_rack_spread_large_deployments"] = f"{mean_spread:.2f}"
+    assert len(store) > 100
+
+
+def test_spread_buys_fault_tolerance():
+    """SPREAD spreads large deployments over more racks than BEST_FIT."""
+    from collections import defaultdict
+
+    def mean_spread(policy: PlacementPolicy) -> float:
+        store = generate_with_policy(policy)
+        racks: dict[int, set] = defaultdict(set)
+        sizes: dict[int, int] = defaultdict(int)
+        for vm in store.vms():
+            racks[vm.deployment_id].add(vm.rack_id)
+            sizes[vm.deployment_id] += 1
+        large = [d for d, n in sizes.items() if n >= 3]
+        return sum(len(racks[d]) for d in large) / len(large)
+
+    assert mean_spread(PlacementPolicy.SPREAD) > mean_spread(PlacementPolicy.BEST_FIT)

@@ -1,0 +1,20 @@
+"""Ablation: holiday-week sensitivity (Section VII, threats to validity).
+
+The paper chose a week "without any holiday"; this benchmark regenerates
+both an ordinary and a holiday week and verifies which findings are robust
+to the choice (burstiness + lifetime gaps) and which are not (utilization
+levels, weekday/weekend contrast).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_checks
+from repro.experiments import validity
+
+
+def test_validity_holiday(benchmark):
+    """Ordinary vs holiday week, end to end."""
+    result = benchmark.pedantic(
+        validity.run, kwargs={"seed": 7, "scale": 0.15}, rounds=1, iterations=1
+    )
+    record_checks(benchmark, result)

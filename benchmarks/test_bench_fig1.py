@@ -1,0 +1,18 @@
+"""Benchmarks regenerating Figure 1 (deployment sizes, subs per cluster)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_checks
+from repro.experiments import fig1
+
+
+def test_fig1a(benchmark, trace):
+    """Fig. 1(a): CDF of VMs per subscription, private vs public."""
+    result = benchmark(fig1.run_fig1a, trace)
+    record_checks(benchmark, result)
+
+
+def test_fig1b(benchmark, trace):
+    """Fig. 1(b): subscriptions per cluster box-plots (~20x gap)."""
+    result = benchmark(fig1.run_fig1b, trace)
+    record_checks(benchmark, result)

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 2 (VM size heatmaps)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_checks
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark, trace):
+    """Fig. 2: core x memory heatmaps; public extends into the corners."""
+    result = benchmark(fig2.run, trace)
+    record_checks(benchmark, result)

@@ -1,0 +1,36 @@
+"""Benchmarks regenerating Figure 3 (temporal deployment behaviour)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_checks
+from repro.experiments import fig3
+
+
+def test_fig3a(benchmark, trace):
+    """Fig. 3(a): lifetime CDFs (49% vs 81% shortest bin)."""
+    result = benchmark(fig3.run_fig3a, trace)
+    record_checks(benchmark, result)
+
+
+def test_fig3b(benchmark, trace):
+    """Fig. 3(b): VM counts per hour in one region."""
+    result = benchmark(fig3.run_fig3b, trace)
+    record_checks(benchmark, result)
+
+
+def test_fig3c(benchmark, trace):
+    """Fig. 3(c): VM creations per hour in one region."""
+    result = benchmark(fig3.run_fig3c, trace)
+    record_checks(benchmark, result)
+
+
+def test_fig3d(benchmark, trace):
+    """Fig. 3(d): CV of hourly creations across regions."""
+    result = benchmark(fig3.run_fig3d, trace)
+    record_checks(benchmark, result)
+
+
+def test_fig3c_removals(benchmark, trace):
+    """Fig. 3(c) companion: VMs removed per hour mirror the creations."""
+    result = benchmark(fig3.run_fig3c_removals, trace)
+    record_checks(benchmark, result)

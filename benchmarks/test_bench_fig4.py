@@ -1,0 +1,18 @@
+"""Benchmarks regenerating Figure 4 (spatial deployment)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_checks
+from repro.experiments import fig4
+
+
+def test_fig4a(benchmark, trace):
+    """Fig. 4(a): CDF of deployed regions per subscription."""
+    result = benchmark(fig4.run_fig4a, trace)
+    record_checks(benchmark, result)
+
+
+def test_fig4b(benchmark, trace):
+    """Fig. 4(b): core-weighted variant (40% vs 70% single-region share)."""
+    result = benchmark(fig4.run_fig4b, trace)
+    record_checks(benchmark, result)

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 5 (utilization pattern taxonomy/mix).
+
+Pattern classification sweeps hundreds of week-long series through the
+period detector, so this is the heaviest figure; it runs with pedantic
+rounds to keep the suite quick.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_checks
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, trace):
+    """Fig. 5: pattern samples + measured per-cloud mix."""
+    result = benchmark.pedantic(
+        fig5.run, args=(trace,), kwargs={"max_vms": None}, rounds=1, iterations=1
+    )
+    record_checks(benchmark, result)

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 6 (utilization distributions over time)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_checks
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, trace):
+    """Fig. 6: weekly + daily utilization percentile bands."""
+    result = benchmark.pedantic(
+        fig6.run, args=(trace,), kwargs={"max_vms": 800}, rounds=3, iterations=1
+    )
+    record_checks(benchmark, result)

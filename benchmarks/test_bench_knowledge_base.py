@@ -1,0 +1,21 @@
+"""Benchmark: workload knowledge-base extraction (Section V).
+
+The knowledge base is meant to run *continuously* against telemetry, so
+extraction cost over a full trace matters.
+"""
+
+from __future__ import annotations
+
+from repro.core.knowledge_base import WorkloadKnowledgeBase
+
+
+def test_kb_extraction(benchmark, trace):
+    """Full per-subscription knowledge extraction over the shared trace."""
+    kb = benchmark.pedantic(
+        WorkloadKnowledgeBase.from_trace, args=(trace,), rounds=2, iterations=1
+    )
+    benchmark.extra_info["subscriptions"] = len(kb)
+    benchmark.extra_info["region_agnostic_private"] = len(
+        kb.region_agnostic_candidates(cloud="private")
+    )
+    assert len(kb) > 100

@@ -1,0 +1,27 @@
+"""Benchmark: the full Section-V workload-aware optimization loop.
+
+Knowledge-base extraction + policy routing + sizing every optimization on
+the shared trace.  Not a single paper figure -- it is the system the paper
+proposes as future work, so its end-to-end cost matters.
+"""
+
+from __future__ import annotations
+
+from repro.core.knowledge_base import POLICY_SPOT_ADOPTION
+from repro.management.orchestrator import WorkloadAwareOrchestrator
+
+
+def test_orchestrator_full_loop(benchmark, trace):
+    """KB extraction + all policy sizings."""
+
+    def run():
+        return WorkloadAwareOrchestrator(trace, seed=1).run()
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["policies_sized"] = len(report.outcomes)
+    spot = report.get(POLICY_SPOT_ADOPTION)
+    if spot is not None:
+        benchmark.extra_info["spot_saving"] = (
+            f"{spot.metrics['cost_saving_fraction']:.1%}"
+        )
+    assert len(report.outcomes) >= 3

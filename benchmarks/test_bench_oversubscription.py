@@ -1,0 +1,22 @@
+"""Benchmark for IM1: chance-constrained over-subscription sweep.
+
+Regenerates the paper's "20% to 86% ... depending on the level of safety
+constraint" experiment: the utilization-gain band over epsilon.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_checks
+from repro.experiments import implications
+
+
+def test_im1_oversubscription(benchmark, trace):
+    """Sweep the safety level and measure the utilization-gain band."""
+    result = benchmark.pedantic(
+        implications.run_oversubscription,
+        args=(trace,),
+        kwargs={"max_candidates": 400},
+        rounds=3,
+        iterations=1,
+    )
+    record_checks(benchmark, result)

@@ -1,0 +1,43 @@
+"""Throughput benchmarks: trace generation and the full study pipeline.
+
+Not a paper artifact -- these guard the performance of the substrate itself
+(a week of private+public cloud with telemetry should generate in seconds).
+"""
+
+from __future__ import annotations
+
+from repro.core.study import run_study
+from repro.workloads.generator import GeneratorConfig, generate_trace_pair
+from repro.workloads.profiles import private_profile
+from repro.workloads.generator import TraceGenerator
+
+
+def test_generate_private_small(benchmark):
+    """Generate one cloud's week at scale 0.1 (no telemetry)."""
+
+    def run():
+        config = GeneratorConfig(seed=3, scale=0.1, synthesize_utilization=False)
+        return TraceGenerator(private_profile(), config).generate()
+
+    store = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["vms"] = len(store)
+    assert len(store) > 200
+
+
+def test_generate_pair_with_telemetry(benchmark):
+    """Generate the merged pair at scale 0.1 including 5-min telemetry."""
+
+    def run():
+        return generate_trace_pair(GeneratorConfig(seed=3, scale=0.1))
+
+    store = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["vms"] = len(store)
+    benchmark.extra_info["series"] = store.summary()["utilization_series"]
+
+
+def test_full_study_pipeline(benchmark, trace):
+    """The whole Sections III+IV characterization on the shared trace."""
+    result = benchmark.pedantic(
+        run_study, args=(trace,), kwargs={"max_pattern_vms": 250}, rounds=2, iterations=1
+    )
+    assert all(holds for _i, holds, _e in result.insights())

@@ -1,0 +1,12 @@
+"""Benchmark for IM2: the spot-VM adoption what-if (public cloud)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_checks
+from repro.experiments import implications
+
+
+def test_im2_spot(benchmark, trace):
+    """Spot candidates, savings, and expected evictions on the public trace."""
+    result = benchmark(implications.run_spot, trace)
+    record_checks(benchmark, result)

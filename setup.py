@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` with modern PEP 517 editable installs requires
+`bdist_wheel`; this shim lets `pip install -e . --no-build-isolation`
+fall back to the classic `setup.py develop` path offline.
+"""
+
+from setuptools import setup
+
+setup()

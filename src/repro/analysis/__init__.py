@@ -1,0 +1,48 @@
+"""Reusable statistics toolkit underpinning every analysis in the paper.
+
+The modules here are intentionally free of any cloud-domain knowledge: they
+operate on plain numpy arrays and are exercised heavily by property-based
+tests.  The domain-specific characterizations in :mod:`repro.core` compose
+these primitives.
+"""
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.distributions import (
+    cdf_summary,
+    ks_statistic,
+    stochastic_dominance_fraction,
+    wasserstein_distance,
+)
+from repro.analysis.heatmap import Heatmap2D, build_heatmap
+from repro.analysis.stats import (
+    BoxplotStats,
+    coefficient_of_variation,
+    pearson_correlation,
+    summarize,
+)
+from repro.analysis.timeseries import (
+    PercentileBands,
+    hourly_event_counts,
+    hourly_occupancy,
+    moving_average,
+    percentile_bands,
+)
+
+__all__ = [
+    "BoxplotStats",
+    "EmpiricalCdf",
+    "Heatmap2D",
+    "PercentileBands",
+    "build_heatmap",
+    "cdf_summary",
+    "ks_statistic",
+    "stochastic_dominance_fraction",
+    "wasserstein_distance",
+    "coefficient_of_variation",
+    "hourly_event_counts",
+    "hourly_occupancy",
+    "moving_average",
+    "pearson_correlation",
+    "percentile_bands",
+    "summarize",
+]

@@ -1,0 +1,60 @@
+"""Normalization helpers mirroring the paper's confidentiality convention.
+
+Section II, footnote 1: "we provide more relevant workload statistics and
+trends through normalization.  Normalization units refer to quantities in the
+private cloud with specific choices depending on the contexts of analysis."
+
+Every experiment module normalizes its outputs the same way so that measured
+series are directly comparable with the (normalized) series in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize_by_reference(values: np.ndarray, reference: float) -> np.ndarray:
+    """Divide ``values`` by a positive scalar ``reference`` unit."""
+    if reference <= 0:
+        raise ValueError(f"reference unit must be positive, got {reference}")
+    return np.asarray(values, dtype=np.float64) / reference
+
+
+def normalize_to_max(values: np.ndarray) -> np.ndarray:
+    """Scale ``values`` so the maximum becomes 1 (all-zero input stays zero)."""
+    values = np.asarray(values, dtype=np.float64)
+    peak = values.max() if values.size else 0.0
+    if peak <= 0:
+        return values.copy()
+    return values / peak
+
+
+def normalize_to_mean(values: np.ndarray) -> np.ndarray:
+    """Scale ``values`` so the mean becomes 1 (requires a positive mean)."""
+    values = np.asarray(values, dtype=np.float64)
+    mean = values.mean() if values.size else 0.0
+    if mean <= 0:
+        raise ValueError("normalize_to_mean requires a positive mean")
+    return values / mean
+
+
+def private_cloud_unit(private_values: np.ndarray, statistic: str = "median") -> float:
+    """Derive a normalization unit from private-cloud quantities.
+
+    ``statistic`` is one of ``median``, ``mean`` or ``max`` -- the paper's
+    "specific choices depending on the contexts of analysis".
+    """
+    values = np.asarray(private_values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("need at least one private-cloud value")
+    if statistic == "median":
+        unit = float(np.median(values))
+    elif statistic == "mean":
+        unit = float(values.mean())
+    elif statistic == "max":
+        unit = float(values.max())
+    else:
+        raise ValueError(f"unknown statistic {statistic!r}")
+    if unit <= 0:
+        raise ValueError("derived normalization unit must be positive")
+    return unit

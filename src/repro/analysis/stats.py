@@ -1,0 +1,135 @@
+"""Scalar statistics: coefficient of variation, box-plot stats, Pearson r.
+
+These are the three workhorses of the paper's quantitative comparisons:
+
+* the **coefficient of variation** quantifies burstiness of hourly VM
+  creations across regions (Fig. 3d);
+* **box-plot statistics** with 1.5-IQR whiskers render Fig. 1(b) and 3(d);
+* **Pearson correlation** drives both similarity studies in Section IV-B
+  (VM-to-node and cross-region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def coefficient_of_variation(samples: np.ndarray) -> float:
+    """Ratio of the standard deviation to the mean of ``samples``.
+
+    The paper computes the CV "over the distribution of the VM number
+    creation per hour over one week" (Section III-B).  A zero-mean input has
+    an undefined CV; we return ``nan`` in that case so callers can filter.
+    """
+    samples = np.asarray(samples, dtype=np.float64).ravel()
+    if samples.size == 0:
+        raise ValueError("cannot compute CV of zero samples")
+    mean = samples.mean()
+    if mean == 0:
+        return float("nan")
+    return float(samples.std() / mean)
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient, returning ``nan`` for constant input.
+
+    ``scipy.stats.pearsonr`` raises on constant input and emits warnings on
+    near-constant input; telemetry series are frequently constant (idle VMs),
+    so we implement the textbook estimator with an explicit guard.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise ValueError("Pearson correlation needs at least two samples")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt(np.dot(xc, xc) * np.dot(yc, yc))
+    if denom == 0:
+        return float("nan")
+    r = float(np.dot(xc, yc) / denom)
+    # Clamp round-off excursions outside [-1, 1].
+    return max(-1.0, min(1.0, r))
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """The five-number summary used by the paper's box-plots.
+
+    Whisker boundaries follow the convention stated in the caption of
+    Fig. 1(b): 1.5 times the interquartile range, clipped to the most extreme
+    sample inside that range.
+    """
+
+    q1: float
+    median: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    n_outliers: int
+    n_samples: int
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray) -> "BoxplotStats":
+        """Compute box-plot statistics of ``samples`` (NaNs are dropped)."""
+        samples = np.asarray(samples, dtype=np.float64).ravel()
+        samples = samples[~np.isnan(samples)]
+        if samples.size == 0:
+            raise ValueError("cannot compute box-plot stats of zero samples")
+        q1, median, q3 = np.percentile(samples, [25, 50, 75])
+        iqr = q3 - q1
+        low_fence = q1 - 1.5 * iqr
+        high_fence = q3 + 1.5 * iqr
+        inside = samples[(samples >= low_fence) & (samples <= high_fence)]
+        return cls(
+            q1=float(q1),
+            median=float(median),
+            q3=float(q3),
+            whisker_low=float(inside.min()),
+            whisker_high=float(inside.max()),
+            n_outliers=int(samples.size - inside.size),
+            n_samples=int(samples.size),
+        )
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """General-purpose distribution summary used in reports."""
+
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+    n_samples: int
+
+
+def summarize(samples: np.ndarray) -> SummaryStats:
+    """Return a :class:`SummaryStats` over ``samples`` (NaNs dropped)."""
+    samples = np.asarray(samples, dtype=np.float64).ravel()
+    samples = samples[~np.isnan(samples)]
+    if samples.size == 0:
+        raise ValueError("cannot summarize zero samples")
+    p25, median, p75, p95 = np.percentile(samples, [25, 50, 75, 95])
+    return SummaryStats(
+        mean=float(samples.mean()),
+        std=float(samples.std()),
+        minimum=float(samples.min()),
+        p25=float(p25),
+        median=float(median),
+        p75=float(p75),
+        p95=float(p95),
+        maximum=float(samples.max()),
+        n_samples=int(samples.size),
+    )

@@ -1,0 +1,134 @@
+"""Time-series utilities: hourly counts, occupancy, percentile bands.
+
+These back the temporal-domain figures:
+
+* Fig. 3(b) "normalized VM counts per hour" -- :func:`hourly_occupancy`;
+* Fig. 3(c) "numbers of VMs created per hour" -- :func:`hourly_event_counts`;
+* Fig. 6 weekly/daily utilization percentile distributions --
+  :func:`percentile_bands`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.timebase import SECONDS_PER_HOUR
+
+
+def hourly_event_counts(
+    event_times: np.ndarray,
+    *,
+    duration: float,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Count events per UTC hour over ``[start, start + duration)``.
+
+    Events outside the window are ignored.  Returns an integer array with one
+    entry per hour.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    n_hours = int(np.ceil(duration / SECONDS_PER_HOUR))
+    times = np.asarray(event_times, dtype=np.float64).ravel()
+    times = times[(times >= start) & (times < start + duration)]
+    idx = ((times - start) // SECONDS_PER_HOUR).astype(np.int64)
+    return np.bincount(idx, minlength=n_hours)[:n_hours]
+
+
+def hourly_occupancy(
+    start_times: np.ndarray,
+    end_times: np.ndarray,
+    *,
+    duration: float,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Number of intervals alive at the start of each hour.
+
+    ``start_times[i]``/``end_times[i]`` delimit one VM's life; ``end`` may be
+    ``inf`` (or ``nan``, treated as ``inf``) for VMs that outlive the window.
+    A VM is counted in hour ``h`` when it is alive at the hour boundary,
+    which matches the hourly inventory snapshots behind Fig. 3(b).
+    """
+    starts = np.asarray(start_times, dtype=np.float64).ravel()
+    ends = np.asarray(end_times, dtype=np.float64).ravel()
+    if starts.shape != ends.shape:
+        raise ValueError(f"shape mismatch: {starts.shape} vs {ends.shape}")
+    ends = np.where(np.isnan(ends), np.inf, ends)
+    n_hours = int(np.ceil(duration / SECONDS_PER_HOUR))
+    boundaries = start + SECONDS_PER_HOUR * np.arange(n_hours, dtype=np.float64)
+    # alive at boundary b  <=>  start <= b < end
+    alive = (starts[None, :] <= boundaries[:, None]) & (ends[None, :] > boundaries[:, None])
+    return alive.sum(axis=1)
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge shrinkage (output length preserved)."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if window == 1 or values.size == 0:
+        return values.copy()
+    kernel = np.ones(window)
+    sums = np.convolve(values, kernel, mode="same")
+    norm = np.convolve(np.ones_like(values), kernel, mode="same")
+    return sums / norm
+
+
+@dataclass(frozen=True)
+class PercentileBands:
+    """Per-timestamp percentiles across a population of series (Fig. 6)."""
+
+    percentiles: tuple[float, ...]
+    #: ``bands[i]`` is the time series of the ``percentiles[i]``-th percentile.
+    bands: np.ndarray
+    n_series: int
+
+    def band(self, percentile: float) -> np.ndarray:
+        """Return the series for one of the configured percentiles."""
+        try:
+            idx = self.percentiles.index(percentile)
+        except ValueError:
+            raise KeyError(f"percentile {percentile} not computed; have {self.percentiles}")
+        return self.bands[idx]
+
+
+def percentile_bands(
+    series_matrix: np.ndarray,
+    percentiles: tuple[float, ...] = (25.0, 50.0, 75.0, 95.0),
+) -> PercentileBands:
+    """Cross-sectional percentiles of ``series_matrix`` (rows = series).
+
+    For each time step ``t``, computes the requested percentiles over the
+    population ``series_matrix[:, t]``.  This is exactly the construction of
+    Fig. 6: the distribution of CPU utilization across VMs, tracked over
+    time.
+    """
+    matrix = np.asarray(series_matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("series_matrix must be 2-D (series x time)")
+    if matrix.shape[0] == 0:
+        raise ValueError("need at least one series")
+    bands = np.percentile(matrix, percentiles, axis=0)
+    return PercentileBands(
+        percentiles=tuple(float(p) for p in percentiles),
+        bands=bands,
+        n_series=int(matrix.shape[0]),
+    )
+
+
+def fold_daily(series: np.ndarray, samples_per_day: int) -> np.ndarray:
+    """Average a week-long series into a single representative day.
+
+    Used for the "within a day" panels of Fig. 6(c, d): the weekly series is
+    folded modulo one day and averaged across days.
+    """
+    series = np.asarray(series, dtype=np.float64).ravel()
+    if samples_per_day <= 0:
+        raise ValueError("samples_per_day must be positive")
+    n_full_days = series.size // samples_per_day
+    if n_full_days == 0:
+        raise ValueError("series shorter than one day")
+    trimmed = series[: n_full_days * samples_per_day]
+    return trimmed.reshape(n_full_days, samples_per_day).mean(axis=0)

@@ -1,0 +1,247 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-cloud generate    --seed 7 --scale 0.3 --out trace_dir
+    repro-cloud study       [--trace trace_dir | --seed 7 --scale 0.3]
+    repro-cloud experiments [--write-md EXPERIMENTS.md] [--seed 7 --scale 0.3]
+    repro-cloud kb          [--trace trace_dir] [--out kb.json]
+    repro-cloud case-study  [--seed 11]
+
+(Also runnable as ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="generator seed")
+    parser.add_argument(
+        "--scale", type=float, default=0.3, help="workload scale (1.0 = full sizing)"
+    )
+    parser.add_argument(
+        "--trace", type=str, default=None, help="load a saved trace directory instead"
+    )
+
+
+def _load_or_generate(args: argparse.Namespace):
+    from repro.telemetry.io import load_trace
+    from repro.workloads.generator import GeneratorConfig, generate_trace_pair
+
+    if args.trace:
+        return load_trace(args.trace)
+    t0 = time.time()
+    store = generate_trace_pair(GeneratorConfig(seed=args.seed, scale=args.scale))
+    print(
+        f"generated {len(store)} VMs "
+        f"({store.summary()['utilization_series']} with telemetry) "
+        f"in {time.time() - t0:.1f}s",
+        file=sys.stderr,
+    )
+    return store
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.telemetry.io import save_trace
+
+    store = _load_or_generate(args)
+    path = save_trace(store, args.out)
+    print(f"trace written to {path}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.core.study import run_study
+
+    store = _load_or_generate(args)
+    study = run_study(store)
+    print(study.report())
+    if args.markdown:
+        from repro.core.reporting import write_study_report
+
+        out = write_study_report(study, args.markdown, store=store)
+        print(f"markdown report written to {out}")
+    return 0 if all(holds for _i, holds, _e in study.insights()) else 1
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import render_report, run_all, write_experiments_md
+
+    config = ExperimentConfig(seed=args.seed, scale=args.scale)
+    results = run_all(config)
+    print(render_report(results))
+    if args.write_md:
+        out = write_experiments_md(results, args.write_md, config=config)
+        print(f"wrote {out}")
+    if args.export_dir:
+        from repro.experiments.export import export_results
+
+        written = export_results(results, args.export_dir)
+        n_files = sum(len(paths) for paths in written.values())
+        print(f"exported {n_files} CSV files to {args.export_dir}")
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_kb(args: argparse.Namespace) -> int:
+    from repro.core.knowledge_base import WorkloadKnowledgeBase
+    from repro.telemetry.schema import Cloud
+
+    store = _load_or_generate(args)
+    kb = WorkloadKnowledgeBase.from_trace(store)
+    for cloud in (Cloud.PRIVATE, Cloud.PUBLIC):
+        summary = kb.cloud_summary(cloud)
+        print(f"{cloud}:")
+        for key, value in summary.items():
+            print(f"  {key}: {value:.2f}")
+    sample = kb.subscriptions()[: args.sample]
+    print(f"\npolicy recommendations (first {len(sample)} subscriptions):")
+    for record in sample:
+        policies = kb.recommend_policies(record.subscription_id)
+        print(
+            f"  sub {record.subscription_id} ({record.cloud}/{record.service}): "
+            f"{', '.join(policies) if policies else '(none)'}"
+        )
+    if args.out:
+        kb.to_json(args.out)
+        print(f"\nknowledge base written to {args.out}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.workloads.validation import validate_trace
+
+    store = _load_or_generate(args)
+    scorecard = validate_trace(store)
+    print(scorecard.render())
+    return 0 if scorecard.passed else 1
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.management.orchestrator import WorkloadAwareOrchestrator
+
+    store = _load_or_generate(args)
+    report = WorkloadAwareOrchestrator(store).run()
+    print(report.render())
+    return 0 if report.outcomes else 1
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.analysis.render import cdf_strip, mix_table, sparkline
+    from repro.core import deployment as dep
+    from repro.core import utilization as util
+    from repro.telemetry.schema import Cloud
+
+    store = _load_or_generate(args)
+    print(f"trace: {store.summary()}\n")
+    for cloud in (Cloud.PRIVATE, Cloud.PUBLIC):
+        if not store.vms(cloud=cloud):
+            continue
+        print(f"== {cloud} cloud ==")
+        counts = dep.vm_count_series(store, cloud)
+        creations = dep.vm_creation_series(store, cloud)
+        print(f"  VM count/hour     {sparkline(counts)}")
+        print(f"  creations/hour    {sparkline(creations)}")
+        lifetime = dep.lifetime_cdf(store, cloud)
+        xs, ps = lifetime.points()
+        print(f"  lifetime seconds  {cdf_strip(xs, ps)}")
+    mixes = {}
+    for cloud in (Cloud.PRIVATE, Cloud.PUBLIC):
+        try:
+            mixes[str(cloud)] = util.pattern_mix(
+                store, cloud, max_vms=args.max_pattern_vms
+            ).as_fractions()
+        except ValueError:
+            continue
+    if mixes:
+        print("\nutilization pattern mix")
+        print(mix_table(mixes))
+    return 0
+
+
+def _cmd_case_study(args: argparse.Namespace) -> int:
+    from repro.experiments import case_study
+
+    result = case_study.run(seed=args.seed)
+    print(result.render())
+    return 0 if result.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cloud",
+        description="Reproduction of 'How Different are the Cloud Workloads?' (DSN'23)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate and save a trace pair")
+    _add_trace_args(p_gen)
+    p_gen.add_argument("--out", type=str, required=True, help="output directory")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_study = sub.add_parser("study", help="run the full characterization study")
+    _add_trace_args(p_study)
+    p_study.add_argument(
+        "--markdown", type=str, default=None,
+        help="also write a shareable markdown report here",
+    )
+    p_study.set_defaults(func=_cmd_study)
+
+    p_exp = sub.add_parser("experiments", help="reproduce every figure/table")
+    p_exp.add_argument("--seed", type=int, default=7)
+    p_exp.add_argument("--scale", type=float, default=0.3)
+    p_exp.add_argument(
+        "--write-md", type=str, default=None, help="regenerate EXPERIMENTS.md here"
+    )
+    p_exp.add_argument(
+        "--export-dir", type=str, default=None,
+        help="export the numeric series behind every figure as CSV files",
+    )
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_kb = sub.add_parser("kb", help="build the workload knowledge base")
+    _add_trace_args(p_kb)
+    p_kb.add_argument("--out", type=str, default=None, help="write kb JSON here")
+    p_kb.add_argument("--sample", type=int, default=8, help="recommendations to print")
+    p_kb.set_defaults(func=_cmd_kb)
+
+    p_val = sub.add_parser(
+        "validate", help="check a trace against the paper's calibration anchors"
+    )
+    _add_trace_args(p_val)
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_opt = sub.add_parser(
+        "optimize", help="size every workload-aware optimization policy"
+    )
+    _add_trace_args(p_opt)
+    p_opt.set_defaults(func=_cmd_optimize)
+
+    p_summary = sub.add_parser("summary", help="terminal summary with sparklines")
+    _add_trace_args(p_summary)
+    p_summary.add_argument(
+        "--max-pattern-vms", type=int, default=300,
+        help="VMs to classify for the pattern-mix table",
+    )
+    p_summary.set_defaults(func=_cmd_summary)
+
+    p_case = sub.add_parser("case-study", help="run the Canada region-shift pilot")
+    p_case.add_argument("--seed", type=int, default=11)
+    p_case.set_defaults(func=_cmd_case_study)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

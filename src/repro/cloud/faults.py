@@ -1,0 +1,132 @@
+"""Failure injection: node failures and VM live migration.
+
+The paper motivates workload characterization with exactly this scenario
+(Section I): "to avoid service interruption, the cloud platform could choose
+to migrate out VMs from nodes with unhealthy signals ... With knowledge of
+the lifetime of VMs running on this node, the cloud platform can optimize
+this procedure by only migrating out VMs with long remaining time."
+
+:class:`FailureInjector` fails nodes; :func:`plan_migrations` implements the
+lifetime-aware migration policy of that motivating example and is evaluated
+against migrate-everything in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.allocator import AllocationFailure
+from repro.cloud.platform import CloudPlatform
+from repro.telemetry.schema import EventKind, EventRecord
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """Outcome of planning migrations off an unhealthy node."""
+
+    #: VMs worth moving (long expected remaining time).
+    migrate: tuple[int, ...]
+    #: VMs left to finish in place (short expected remaining time).
+    leave: tuple[int, ...]
+
+
+def plan_migrations(
+    platform: CloudPlatform,
+    node_id: int,
+    *,
+    now: float,
+    remaining_time_of: dict[int, float],
+    migration_threshold: float = 2 * 3600.0,
+) -> MigrationPlan:
+    """Choose which VMs to migrate off an unhealthy node.
+
+    ``remaining_time_of`` maps vm ids to the (predicted) remaining lifetime;
+    VMs expected to finish within ``migration_threshold`` seconds are left in
+    place, all others are migrated -- the optimization from the paper's
+    introduction.
+    """
+    node = platform.topology.nodes[node_id]
+    migrate: list[int] = []
+    leave: list[int] = []
+    for vm_id in node.hosted:
+        remaining = remaining_time_of.get(vm_id, float("inf"))
+        if remaining > migration_threshold:
+            migrate.append(vm_id)
+        else:
+            leave.append(vm_id)
+    return MigrationPlan(migrate=tuple(sorted(migrate)), leave=tuple(sorted(leave)))
+
+
+class FailureInjector:
+    """Fails nodes and relocates their VMs elsewhere in the region."""
+
+    def __init__(
+        self, platform: CloudPlatform, *, rng: np.random.Generator | None = None
+    ) -> None:
+        self.platform = platform
+        self._rng = rng or np.random.default_rng(0)
+        self.migrations = 0
+        self.lost_vms = 0
+
+    def fail_node(self, node_id: int, time: float) -> dict[int, int | None]:
+        """Fail a node: evacuate every hosted VM to another node.
+
+        Returns ``{vm_id: new_node_id}``; ``None`` marks VMs that could not
+        be re-placed (capacity exhausted) and were lost.
+        """
+        allocator = self.platform.allocator
+        store = self.platform.store
+        victim_ids = allocator.mark_node_down(node_id)
+        outcome: dict[int, int | None] = {}
+        for vm_id in victim_ids:
+            vm = store.vm(vm_id)
+            allocator.release(vm_id, deployment_id=vm.deployment_id)
+            try:
+                new_node = allocator.allocate(
+                    vm_id,
+                    vm.cores,
+                    vm.memory_gb,
+                    region=vm.region,
+                    deployment_id=vm.deployment_id,
+                    subscription_id=vm.subscription_id,
+                )
+            except AllocationFailure:
+                store.finalize_vm(vm_id, time)
+                store.add_event(
+                    EventRecord(
+                        time=time,
+                        kind=EventKind.EVICT,
+                        vm_id=vm_id,
+                        cloud=vm.cloud,
+                        region=vm.region,
+                        detail=f"node {node_id} failed; no capacity",
+                    )
+                )
+                self.lost_vms += 1
+                outcome[vm_id] = None
+                continue
+            store.reassign_vm_placement(
+                vm_id,
+                node_id=new_node.node_id,
+                rack_id=new_node.rack_id,
+                cluster_id=new_node.cluster_id,
+            )
+            store.add_event(
+                EventRecord(
+                    time=time,
+                    kind=EventKind.MIGRATE,
+                    vm_id=vm_id,
+                    cloud=vm.cloud,
+                    region=vm.region,
+                    detail=f"node {node_id} -> node {new_node.node_id}",
+                )
+            )
+            self.migrations += 1
+            outcome[vm_id] = new_node.node_id
+        return outcome
+
+    def recover_node(self, node_id: int) -> None:
+        """Bring a failed node back into rotation."""
+        self.platform.allocator.mark_node_up(node_id)

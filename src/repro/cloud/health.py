@@ -1,0 +1,179 @@
+"""Node health signals and proactive, lifetime-aware evacuation.
+
+Section I's motivating example, made measurable: "the cloud platform could
+choose to migrate out VMs from nodes with unhealthy signals that may
+indicate hard disk failure.  With knowledge of the lifetime of VMs running
+on this node, the cloud platform can optimize this procedure by only
+migrating out VMs with long remaining time."
+
+:class:`NodeHealthMonitor` raises unhealthy signals some lead time before a
+node actually fails.  On a signal, an evacuation policy decides which VMs
+to live-migrate:
+
+* ``migrate-all`` -- move everything (safe, maximum migration cost);
+* ``migrate-none`` -- do nothing (no migrations; every VM still on the node
+  at failure time is interrupted);
+* ``lifetime-aware`` -- move only VMs whose *predicted* remaining lifetime
+  exceeds the lead time; VMs expected to finish anyway are left in place.
+
+:func:`evaluate_policies` replays the same failure schedule under each
+policy and reports migrations performed vs VMs interrupted -- the
+cost/safety trade-off the paper's example is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.faults import FailureInjector
+from repro.cloud.platform import CloudPlatform
+from repro.telemetry.store import TraceStore
+
+
+@dataclass(frozen=True)
+class EvacuationOutcome:
+    """Cost/safety accounting of one policy over one failure schedule."""
+
+    policy: str
+    n_failures: int
+    migrations: int
+    #: VMs interrupted: still on the node when it failed.
+    interrupted: int
+    #: Migrations of VMs that would have finished before the failure anyway.
+    wasted_migrations: int
+
+    @property
+    def interruption_rate(self) -> float:
+        """Interrupted VMs per failed node."""
+        return self.interrupted / self.n_failures if self.n_failures else 0.0
+
+
+class NodeHealthMonitor:
+    """Schedules unhealthy signals ``lead_time`` before node failures."""
+
+    def __init__(
+        self,
+        *,
+        failure_times: dict[int, float],
+        lead_time: float = 2 * 3600.0,
+    ) -> None:
+        if lead_time < 0:
+            raise ValueError("lead_time must be non-negative")
+        self.failure_times = dict(failure_times)
+        self.lead_time = lead_time
+
+    def signal_time(self, node_id: int) -> float:
+        """When the unhealthy signal for ``node_id`` fires."""
+        return self.failure_times[node_id] - self.lead_time
+
+    def signals(self) -> list[tuple[float, int]]:
+        """(signal_time, node_id) pairs, time-ordered."""
+        return sorted(
+            (self.signal_time(node_id), node_id) for node_id in self.failure_times
+        )
+
+
+def _vms_on_node_at(store: TraceStore, node_id: int, time: float) -> list[int]:
+    return [
+        vm.vm_id
+        for vm in store.vms()
+        if vm.node_id == node_id and vm.created_at <= time < vm.ended_at
+    ]
+
+
+def evaluate_policy(
+    store: TraceStore,
+    monitor: NodeHealthMonitor,
+    *,
+    policy: str,
+    predicted_remaining: dict[int, float] | None = None,
+) -> EvacuationOutcome:
+    """Replay the failure schedule under one evacuation policy.
+
+    This is an *analytical* replay over the recorded trace (no mutation):
+    for each unhealthy node we determine which VMs the policy would migrate
+    at signal time and which of the remaining VMs are still alive at failure
+    time (those are interrupted).  ``predicted_remaining`` maps vm ids to
+    predicted remaining lifetimes; required for ``lifetime-aware``.
+    """
+    if policy not in ("migrate-all", "migrate-none", "lifetime-aware"):
+        raise ValueError(f"unknown policy {policy!r}")
+    if policy == "lifetime-aware" and predicted_remaining is None:
+        raise ValueError("lifetime-aware policy needs predicted_remaining")
+
+    migrations = 0
+    interrupted = 0
+    wasted = 0
+    for signal_time, node_id in monitor.signals():
+        failure_time = monitor.failure_times[node_id]
+        vm_ids = _vms_on_node_at(store, node_id, signal_time)
+        for vm_id in vm_ids:
+            vm = store.vm(vm_id)
+            survives_to_failure = vm.ended_at > failure_time
+            if policy == "migrate-all":
+                move = True
+            elif policy == "migrate-none":
+                move = False
+            else:
+                predicted = predicted_remaining.get(vm_id, float("inf"))
+                move = predicted > (failure_time - signal_time)
+            if move:
+                migrations += 1
+                if not survives_to_failure:
+                    wasted += 1
+            elif survives_to_failure:
+                interrupted += 1
+    return EvacuationOutcome(
+        policy=policy,
+        n_failures=len(monitor.failure_times),
+        migrations=migrations,
+        interrupted=interrupted,
+        wasted_migrations=wasted,
+    )
+
+
+def evaluate_policies(
+    store: TraceStore,
+    monitor: NodeHealthMonitor,
+    *,
+    predicted_remaining: dict[int, float],
+) -> dict[str, EvacuationOutcome]:
+    """All three policies on the same schedule."""
+    return {
+        policy: evaluate_policy(
+            store,
+            monitor,
+            policy=policy,
+            predicted_remaining=predicted_remaining,
+        )
+        for policy in ("migrate-all", "migrate-none", "lifetime-aware")
+    }
+
+
+def sample_failure_schedule(
+    store: TraceStore,
+    *,
+    n_failures: int,
+    rng: np.random.Generator,
+    min_vms: int = 2,
+    window: tuple[float, float] | None = None,
+) -> dict[int, float]:
+    """Pick busy nodes and failure times for a replay experiment."""
+    duration = store.metadata.duration
+    lo, hi = window if window is not None else (duration * 0.3, duration * 0.9)
+    candidates = []
+    by_node = store.vms_by_node()
+    for node_id, vms in by_node.items():
+        mid = (lo + hi) / 2
+        alive = sum(1 for vm in vms if vm.created_at <= mid < vm.ended_at)
+        if alive >= min_vms:
+            candidates.append(node_id)
+    if not candidates:
+        raise ValueError("no node hosts enough VMs for a failure schedule")
+    chosen = rng.choice(
+        np.array(sorted(candidates)), size=min(n_failures, len(candidates)),
+        replace=False,
+    )
+    return {int(n): float(rng.uniform(lo, hi)) for n in np.atleast_1d(chosen)}

@@ -1,0 +1,186 @@
+"""An end-to-end spot-VM market running inside the simulator.
+
+The paper's Section III-B implication suggests running short-lived public
+VMs as spot instances; the cited systems ([15] eviction prediction, [16]
+spot/on-demand mixtures) need an *environment* that actually evicts.  This
+module provides it: spot VMs register with the :class:`SpotMarket`, which
+periodically evaluates per-region capacity pressure and reclaims spot
+capacity when a region runs hot -- highest-core VMs first, mirroring how
+real reclaim frees the most capacity per eviction.
+
+The market also keeps an observation log (pressure, cores, hour-of-day,
+evicted?) in exactly the feature layout
+:class:`repro.management.spot.SpotEvictionPredictor` trains on, closing the
+loop between simulation and prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.platform import CloudPlatform
+from repro.cloud.simulation import Simulator
+from repro.timebase import SECONDS_PER_HOUR, hour_of_day
+
+
+@dataclass(frozen=True)
+class SpotObservation:
+    """One VM-hour of spot history (training row for the predictor)."""
+
+    time: float
+    vm_id: int
+    region: str
+    pressure: float
+    cores: float
+    hour_of_day: float
+    evicted: bool
+
+
+@dataclass
+class _SpotMember:
+    vm_id: int
+    region: str
+    cores: float
+
+
+class SpotMarket:
+    """Evicts registered spot VMs when regional capacity pressure is high.
+
+    Pressure is the allocated-core fraction of the region.  Above
+    ``pressure_threshold``, the market reclaims spot VMs (largest first)
+    until pressure falls back to the threshold or no spot capacity remains.
+    """
+
+    def __init__(
+        self,
+        platform: CloudPlatform,
+        *,
+        pressure_threshold: float = 0.85,
+        evaluation_interval: float = SECONDS_PER_HOUR,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0 < pressure_threshold <= 1:
+            raise ValueError("pressure_threshold must be in (0, 1]")
+        self.platform = platform
+        self.pressure_threshold = pressure_threshold
+        self.evaluation_interval = evaluation_interval
+        self._rng = rng or np.random.default_rng(0)
+        self._members: dict[int, _SpotMember] = {}
+        self.evictions = 0
+        self.observations: list[SpotObservation] = []
+        #: Region capacities, cached once.
+        self._capacity: dict[str, float] = {
+            name: sum(c.capacity_cores for c in region.clusters)
+            for name, region in platform.topology.regions.items()
+        }
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(self, vm_id: int) -> None:
+        """Mark a placed VM as a spot instance."""
+        vm = self.platform.store.vm(vm_id)
+        self._members[vm_id] = _SpotMember(
+            vm_id=vm_id, region=vm.region, cores=vm.cores
+        )
+
+    def deregister(self, vm_id: int) -> None:
+        """Remove a VM from the market (normal termination)."""
+        self._members.pop(vm_id, None)
+
+    def is_spot(self, vm_id: int) -> bool:
+        """Whether a VM currently runs as spot."""
+        return vm_id in self._members
+
+    @property
+    def active_spot_count(self) -> int:
+        """Number of live spot VMs."""
+        return len(self._members)
+
+    # ------------------------------------------------------------------
+    # operation
+    # ------------------------------------------------------------------
+    def install(self, simulator: Simulator, *, start: float, until: float) -> None:
+        """Schedule periodic pressure evaluations."""
+        simulator.schedule_periodic(
+            start, self.evaluation_interval, self.evaluate, until=until
+        )
+
+    def region_pressure(self, region: str) -> float:
+        """Current allocated-core fraction of ``region``."""
+        capacity = self._capacity.get(region, 0.0)
+        if capacity <= 0:
+            return 0.0
+        return self.platform.region_allocated_cores(region) / capacity
+
+    def evaluate(self, now: float) -> None:
+        """One market step: log observations, reclaim in hot regions."""
+        # Drop members that ended on their own since the last step.
+        for vm_id in [v for v in self._members if self.platform.allocator.node_of(v) is None]:
+            self._members.pop(vm_id)
+
+        by_region: dict[str, list[_SpotMember]] = {}
+        for member in self._members.values():
+            by_region.setdefault(member.region, []).append(member)
+
+        for region, members in by_region.items():
+            pressure = self.region_pressure(region)
+            hod = float(hour_of_day(np.array([now]))[0])
+            evicted_ids = set()
+            if pressure > self.pressure_threshold:
+                evicted_ids = self._reclaim(region, members, pressure, now)
+            for member in members:
+                self.observations.append(
+                    SpotObservation(
+                        time=now,
+                        vm_id=member.vm_id,
+                        region=region,
+                        pressure=pressure,
+                        cores=member.cores,
+                        hour_of_day=hod,
+                        evicted=member.vm_id in evicted_ids,
+                    )
+                )
+
+    def _reclaim(
+        self,
+        region: str,
+        members: list[_SpotMember],
+        pressure: float,
+        now: float,
+    ) -> set[int]:
+        capacity = self._capacity[region]
+        excess_cores = (pressure - self.pressure_threshold) * capacity
+        evicted: set[int] = set()
+        for member in sorted(members, key=lambda m: -m.cores):
+            if excess_cores <= 0:
+                break
+            self.platform.evict_vm(member.vm_id, now, reason="spot reclaim")
+            self._members.pop(member.vm_id, None)
+            evicted.add(member.vm_id)
+            excess_cores -= member.cores
+            self.evictions += 1
+        return evicted
+
+    # ------------------------------------------------------------------
+    # training-data export
+    # ------------------------------------------------------------------
+    def training_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(pressures, cores, hours, evicted)`` for the eviction predictor."""
+        if not self.observations:
+            raise ValueError("no observations recorded yet")
+        pressures = np.array([o.pressure for o in self.observations])
+        cores = np.array([o.cores for o in self.observations])
+        hours = np.array([o.hour_of_day for o in self.observations])
+        evicted = np.array([float(o.evicted) for o in self.observations])
+        return pressures, cores, hours, evicted
+
+    def empirical_eviction_rate(self) -> float:
+        """Fraction of spot VM-hours that ended in eviction."""
+        if not self.observations:
+            return 0.0
+        return float(np.mean([o.evicted for o in self.observations]))

@@ -1,0 +1,36 @@
+"""The paper's primary contribution: the workload characterization suite.
+
+Each module maps to a section of the paper:
+
+* :mod:`repro.core.deployment` -- Section III (deployment characteristics);
+* :mod:`repro.core.periodicity` -- the period-detection primitive
+  (Vlachos et al., ICDM'05) used by the pattern classifier;
+* :mod:`repro.core.patterns` -- Section IV-A's four-way utilization
+  pattern classification;
+* :mod:`repro.core.utilization` -- Section IV-A's distribution analyses;
+* :mod:`repro.core.correlation` -- Section IV-B's node-level and
+  region-level similarity studies and region-agnosticism detection;
+* :mod:`repro.core.knowledge_base` -- the centralized workload knowledge
+  base the paper motivates in Section V;
+* :mod:`repro.core.study` -- the one-call orchestration that runs the whole
+  characterization and renders a comparison report.
+"""
+
+from repro.core.knowledge_base import SubscriptionKnowledge, WorkloadKnowledgeBase
+from repro.core.patterns import ClassifierConfig, PatternClassifier, PatternMix, classify_series
+from repro.core.periodicity import detect_periods, periodogram_candidates
+from repro.core.study import CharacterizationStudy, CloudCharacterization, run_study
+
+__all__ = [
+    "CharacterizationStudy",
+    "ClassifierConfig",
+    "CloudCharacterization",
+    "PatternClassifier",
+    "PatternMix",
+    "SubscriptionKnowledge",
+    "WorkloadKnowledgeBase",
+    "classify_series",
+    "detect_periods",
+    "periodogram_candidates",
+    "run_study",
+]

@@ -1,0 +1,224 @@
+"""Spatial similarity analyses (Section IV-B, Figure 7).
+
+Three studies:
+
+* **node level** (Fig. 7a): Pearson correlation between each VM's CPU
+  utilization and its host node's, skipping nodes that host a single VM;
+* **region level** (Fig. 7b): for multi-region subscriptions, Pearson
+  correlation of the subscription's region-averaged utilization between
+  every pair of deployed regions (the paper restricts to the ~10 US
+  regions);
+* **region-agnostic detection** (Fig. 7c and the Canada case study): a
+  subscription whose cross-region correlations are all high is a
+  region-agnostic candidate -- its load follows one global clock, so it can
+  be shifted between regions without hurting users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.stats import pearson_correlation
+from repro.telemetry.counters import all_node_utilizations, subscription_region_utilization
+from repro.telemetry.schema import Cloud
+from repro.telemetry.store import TraceStore
+from repro.timebase import SECONDS_PER_DAY
+
+
+def node_level_correlation(
+    store: TraceStore,
+    cloud: Cloud,
+    *,
+    min_alive: float | None = None,
+    max_nodes: int | None = None,
+) -> EmpiricalCdf:
+    """Fig. 7(a): CDF of Pearson(VM utilization, host-node utilization).
+
+    "We filter out the trivial case that nodes only host one VM."  VMs must
+    be alive at least ``min_alive`` seconds (default: 2 days) so that the
+    correlation is estimated over a meaningful overlap; each correlation is
+    computed on the VM's alive span.
+    """
+    if min_alive is None:
+        min_alive = 2 * SECONDS_PER_DAY
+    sample_period = store.metadata.sample_period
+    duration = store.metadata.duration
+    node_series = all_node_utilizations(store, cloud=cloud)
+    vms_by_node = store.vms_by_node(cloud=cloud)
+
+    correlations: list[float] = []
+    n_nodes = 0
+    for node_id, node_util in node_series.items():
+        vms = [
+            vm
+            for vm in vms_by_node.get(node_id, [])
+            if store.has_utilization(vm.vm_id)
+        ]
+        if len(vms) < 2:
+            continue  # trivial single-VM nodes are excluded
+        n_nodes += 1
+        if max_nodes is not None and n_nodes > max_nodes:
+            break
+        for vm in vms:
+            start = max(vm.created_at, 0.0)
+            end = min(vm.ended_at, duration)
+            if end - start < min_alive:
+                continue
+            lo = int(np.ceil(start / sample_period))
+            hi = int(np.floor(end / sample_period))
+            r = pearson_correlation(
+                store.utilization(vm.vm_id)[lo:hi], node_util[lo:hi]
+            )
+            if np.isfinite(r):
+                correlations.append(r)
+    if not correlations:
+        raise ValueError(f"no multi-VM node of {cloud} has usable telemetry")
+    return EmpiricalCdf.from_samples(np.array(correlations))
+
+
+def region_level_correlation(
+    store: TraceStore,
+    cloud: Cloud,
+    *,
+    countries: tuple[str, ...] = ("US",),
+    min_regions: int = 2,
+) -> EmpiricalCdf:
+    """Fig. 7(b): CDF of cross-region utilization correlation per subscription.
+
+    For each subscription deployed in at least ``min_regions`` of the
+    selected countries' regions, correlate the region-averaged utilization
+    of every region pair.
+    """
+    allowed = {
+        name
+        for name, info in store.regions.items()
+        if not countries or info.country in countries
+    }
+    correlations: list[float] = []
+    for sub_id, sub in store.subscriptions.items():
+        if sub.cloud != cloud:
+            continue
+        by_region = subscription_region_utilization(store, sub_id)
+        regions = sorted(r for r in by_region if r in allowed)
+        if len(regions) < min_regions:
+            continue
+        for a, b in combinations(regions, 2):
+            r = pearson_correlation(by_region[a], by_region[b])
+            if np.isfinite(r):
+                correlations.append(r)
+    if not correlations:
+        raise ValueError(f"no multi-region {cloud} subscription with telemetry")
+    return EmpiricalCdf.from_samples(np.array(correlations))
+
+
+@dataclass(frozen=True)
+class RegionAgnosticReport:
+    """Cross-region similarity verdict for one subscription."""
+
+    subscription_id: int
+    service: str
+    regions: tuple[str, ...]
+    min_pairwise_correlation: float
+    region_agnostic: bool
+
+
+def region_agnostic_subscriptions(
+    store: TraceStore,
+    cloud: Cloud,
+    *,
+    threshold: float = 0.7,
+    countries: tuple[str, ...] = (),
+) -> list[RegionAgnosticReport]:
+    """Identify region-agnostic candidates: high correlation in every pair.
+
+    The paper cautions that "utilization pattern analysis alone is not
+    sufficient" (data locality, compliance, ...), so these are *candidates*
+    to be confirmed with the workload owner -- exactly how ServiceX was
+    confirmed.
+    """
+    allowed = {
+        name
+        for name, info in store.regions.items()
+        if not countries or info.country in countries
+    }
+    reports = []
+    for sub_id, sub in sorted(store.subscriptions.items()):
+        if sub.cloud != cloud:
+            continue
+        by_region = subscription_region_utilization(store, sub_id)
+        regions = sorted(r for r in by_region if r in allowed)
+        if len(regions) < 2:
+            continue
+        pair_correlations = [
+            pearson_correlation(by_region[a], by_region[b])
+            for a, b in combinations(regions, 2)
+        ]
+        pair_correlations = [r for r in pair_correlations if np.isfinite(r)]
+        if not pair_correlations:
+            continue
+        worst = float(min(pair_correlations))
+        reports.append(
+            RegionAgnosticReport(
+                subscription_id=sub_id,
+                service=sub.service,
+                regions=tuple(regions),
+                min_pairwise_correlation=worst,
+                region_agnostic=worst >= threshold,
+            )
+        )
+    return reports
+
+
+def service_region_series(
+    store: TraceStore,
+    service: str,
+    *,
+    cloud: Cloud | None = None,
+    fold_to_day: bool = True,
+) -> dict[str, np.ndarray]:
+    """Fig. 7(c): average utilization of one service, per region.
+
+    Returns the average utilization series of all telemetry-bearing VMs of
+    ``service`` in each region, optionally folded to one day (the paper
+    plots one day).
+    """
+    by_region: dict[str, list[int]] = {}
+    for vm in store.vms(cloud=cloud):
+        if vm.service != service or not store.has_utilization(vm.vm_id):
+            continue
+        by_region.setdefault(vm.region, []).append(vm.vm_id)
+    series = {
+        region: store.utilization_matrix(ids).mean(axis=0).astype(np.float64)
+        for region, ids in by_region.items()
+        if len(ids) >= 2
+    }
+    if not fold_to_day:
+        return series
+    from repro.analysis.timeseries import fold_daily
+
+    samples_per_day = int(SECONDS_PER_DAY // store.metadata.sample_period)
+    return {r: fold_daily(s, samples_per_day) for r, s in series.items()}
+
+
+def peak_alignment_hours(series_by_region: dict[str, np.ndarray], sample_period: float) -> float:
+    """Largest pairwise gap between regional daily peak times, in hours.
+
+    Region-agnostic services peak "at the same time points" in every region
+    despite time-zone differences; region-sensitive ones show shifted peaks.
+    """
+    if len(series_by_region) < 2:
+        raise ValueError("need at least two regions to measure alignment")
+    day_seconds = 24 * 3600.0
+    peak_hours = [
+        (int(np.argmax(series)) * sample_period % day_seconds) / 3600.0
+        for series in series_by_region.values()
+    ]
+    gaps = []
+    for a, b in combinations(peak_hours, 2):
+        diff = abs(a - b)
+        gaps.append(min(diff, 24.0 - diff))  # circular distance
+    return float(max(gaps))

@@ -1,0 +1,404 @@
+"""The centralized workload knowledge base (Section V).
+
+"One first needs to abstract out the common optimization policies and then
+build a centralized workload knowledge base, which continuously extracts
+workload knowledge from telemetry signals (e.g., CPU utilization, VM
+lifetime) and feeds them into the aforementioned optimization policies."
+
+:class:`WorkloadKnowledgeBase` does exactly that: it distills a
+:class:`~repro.telemetry.store.TraceStore` into per-subscription knowledge
+records, offers a query API, recommends the paper's optimization policies
+per workload, and serializes to JSON so it can be kept warm between
+analysis runs.  The :mod:`repro.management` optimizers consume it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.stats import coefficient_of_variation
+from repro.analysis.timeseries import hourly_event_counts
+from repro.core.correlation import region_agnostic_subscriptions
+from repro.core.patterns import ClassifierConfig, PatternClassifier
+from repro.telemetry.schema import (
+    Cloud,
+    EventKind,
+    PATTERN_DIURNAL,
+    PATTERN_HOURLY_PEAK,
+    PATTERN_IRREGULAR,
+    PATTERN_STABLE,
+)
+from repro.telemetry.store import TraceStore
+from repro.workloads.lifetime import SHORTEST_BIN_SECONDS
+
+#: Policy identifiers, one per implication discussed in the paper.
+POLICY_SPOT_ADOPTION = "spot-vm-adoption"
+POLICY_OVERSUBSCRIPTION = "chance-constrained-oversubscription"
+POLICY_VALLEY_FILL = "deferrable-valley-scheduling"
+POLICY_PRE_PROVISION = "predictive-pre-provisioning"
+POLICY_REGION_SHIFT = "region-agnostic-rebalancing"
+POLICY_FAILURE_PREDICTION = "allocation-failure-prediction"
+POLICY_CONSERVATIVE = "no-aggressive-management"
+
+
+@dataclass(frozen=True)
+class KnowledgeDrift:
+    """One detected change between two knowledge-base snapshots."""
+
+    subscription_id: int
+    field: str
+    before: str
+    after: str
+
+
+@dataclass
+class SubscriptionKnowledge:
+    """Everything the knowledge base knows about one subscription."""
+
+    subscription_id: int
+    cloud: str
+    service: str
+    party: str
+    n_vms: int = 0
+    total_cores: float = 0.0
+    regions: tuple[str, ...] = ()
+    #: Median lifetime of completed VMs (seconds); NaN if none completed.
+    lifetime_p50: float = float("nan")
+    #: Fraction of completed VMs in the shortest lifetime bin.
+    short_lived_fraction: float = float("nan")
+    #: Classified pattern shares over this subscription's VMs.
+    pattern_mix: dict[str, float] = field(default_factory=dict)
+    dominant_pattern: str = ""
+    #: CV of this subscription's hourly VM creations (burstiness).
+    creation_cv: float = float("nan")
+    #: Cross-region similarity verdict; None when single-region/unknown.
+    region_agnostic: bool | None = None
+    mean_utilization: float = float("nan")
+    p95_utilization: float = float("nan")
+
+    @property
+    def n_regions(self) -> int:
+        """Number of deployed regions."""
+        return len(self.regions)
+
+
+class WorkloadKnowledgeBase:
+    """Queryable per-subscription workload knowledge."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, SubscriptionKnowledge] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(
+        cls,
+        store: TraceStore,
+        *,
+        classifier_config: ClassifierConfig | None = None,
+        region_agnostic_threshold: float = 0.7,
+        max_classified_vms_per_subscription: int = 50,
+    ) -> "WorkloadKnowledgeBase":
+        """Extract knowledge from telemetry, like the paper's pipeline."""
+        kb = cls()
+        classifier = PatternClassifier(classifier_config)
+        duration = store.metadata.duration
+        sample_period = store.metadata.sample_period
+
+        creations_by_sub: dict[int, list[float]] = {}
+        for event in store.events(kind=EventKind.CREATE):
+            vm = store.vm(event.vm_id)
+            creations_by_sub.setdefault(vm.subscription_id, []).append(event.time)
+
+        agnostic: dict[int, bool] = {}
+        for cloud in (Cloud.PRIVATE, Cloud.PUBLIC):
+            try:
+                for report in region_agnostic_subscriptions(
+                    store, cloud, threshold=region_agnostic_threshold
+                ):
+                    agnostic[report.subscription_id] = report.region_agnostic
+            except ValueError:
+                continue
+
+        vms_by_sub = store.vms_by_subscription()
+        for sub_id, sub in store.subscriptions.items():
+            vms = vms_by_sub.get(sub_id, [])
+            if not vms:
+                continue
+            record = SubscriptionKnowledge(
+                subscription_id=sub_id,
+                cloud=str(sub.cloud),
+                service=sub.service,
+                party=sub.party,
+                n_vms=len(vms),
+                total_cores=float(sum(vm.cores for vm in vms)),
+                regions=tuple(sorted({vm.region for vm in vms})),
+            )
+
+            completed = [
+                vm.lifetime
+                for vm in vms
+                if vm.completed and vm.created_at >= 0 and vm.ended_at <= duration
+            ]
+            if completed:
+                lifetimes = np.array(completed)
+                record.lifetime_p50 = float(np.median(lifetimes))
+                record.short_lived_fraction = float(
+                    np.mean(lifetimes <= SHORTEST_BIN_SECONDS)
+                )
+
+            labels = []
+            utils = []
+            for vm in vms:
+                series = store.utilization(vm.vm_id)
+                if series is None:
+                    continue
+                start = max(vm.created_at, 0.0)
+                end = min(vm.ended_at, duration)
+                lo = int(np.ceil(start / sample_period))
+                hi = int(np.floor(end / sample_period))
+                window = series[lo:hi]
+                if window.size:
+                    utils.append(window)
+                if len(labels) < max_classified_vms_per_subscription:
+                    label = classifier.classify(window, sample_period=sample_period)
+                    labels.append(label)
+            if labels:
+                counts = Counter(labels)
+                record.pattern_mix = {
+                    p: counts.get(p, 0) / len(labels)
+                    for p in (
+                        PATTERN_DIURNAL,
+                        PATTERN_STABLE,
+                        PATTERN_IRREGULAR,
+                        PATTERN_HOURLY_PEAK,
+                    )
+                }
+                record.dominant_pattern = counts.most_common(1)[0][0]
+            if utils:
+                stacked = np.concatenate(utils)
+                record.mean_utilization = float(stacked.mean())
+                record.p95_utilization = float(np.percentile(stacked, 95))
+
+            times = creations_by_sub.get(sub_id, [])
+            if len(times) >= 12:
+                counts_per_hour = hourly_event_counts(
+                    np.array(times), duration=duration
+                )
+                cv = coefficient_of_variation(counts_per_hour)
+                if np.isfinite(cv):
+                    record.creation_cv = cv
+
+            record.region_agnostic = agnostic.get(sub_id)
+            kb._records[sub_id] = record
+        return kb
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, subscription_id: int) -> SubscriptionKnowledge:
+        """One subscription's knowledge record."""
+        return self._records[subscription_id]
+
+    def __contains__(self, subscription_id: int) -> bool:
+        return subscription_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def subscriptions(self, *, cloud: Cloud | str | None = None) -> list[SubscriptionKnowledge]:
+        """All records, optionally filtered by cloud."""
+        records = self._records.values()
+        if cloud is not None:
+            cloud = str(cloud)
+            records = (r for r in records if r.cloud == cloud)
+        return sorted(records, key=lambda r: r.subscription_id)
+
+    def services(self, *, cloud: Cloud | str | None = None) -> dict[str, int]:
+        """Subscription counts per service."""
+        counter: Counter[str] = Counter()
+        for record in self.subscriptions(cloud=cloud):
+            counter[record.service] += 1
+        return dict(counter)
+
+    def region_agnostic_candidates(
+        self, *, cloud: Cloud | str | None = None
+    ) -> list[SubscriptionKnowledge]:
+        """Subscriptions the cross-region study marked as region-agnostic."""
+        return [r for r in self.subscriptions(cloud=cloud) if r.region_agnostic]
+
+    def cloud_summary(self, cloud: Cloud | str) -> dict[str, float]:
+        """Aggregate knowledge for one cloud (report fodder)."""
+        records = self.subscriptions(cloud=cloud)
+        if not records:
+            raise ValueError(f"no knowledge for cloud {cloud}")
+        short = [r.short_lived_fraction for r in records if np.isfinite(r.short_lived_fraction)]
+        cvs = [r.creation_cv for r in records if np.isfinite(r.creation_cv)]
+        return {
+            "subscriptions": float(len(records)),
+            "vms": float(sum(r.n_vms for r in records)),
+            "total_cores": float(sum(r.total_cores for r in records)),
+            "mean_regions": float(np.mean([r.n_regions for r in records])),
+            "short_lived_fraction": float(np.mean(short)) if short else float("nan"),
+            "mean_creation_cv": float(np.mean(cvs)) if cvs else float("nan"),
+            "region_agnostic_count": float(
+                sum(1 for r in records if r.region_agnostic)
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # policy recommendation (the knowledge base's purpose in Section V)
+    # ------------------------------------------------------------------
+    def recommend_policies(self, subscription_id: int) -> list[str]:
+        """Map a workload's traits to the paper's optimization policies."""
+        record = self.get(subscription_id)
+        policies: list[str] = []
+        if (
+            record.cloud == str(Cloud.PUBLIC)
+            and np.isfinite(record.short_lived_fraction)
+            and record.short_lived_fraction >= 0.5
+        ):
+            policies.append(POLICY_SPOT_ADOPTION)
+        if record.dominant_pattern == PATTERN_STABLE:
+            policies.append(POLICY_OVERSUBSCRIPTION)
+        if record.dominant_pattern == PATTERN_DIURNAL:
+            policies.append(POLICY_VALLEY_FILL)
+            if record.cloud == str(Cloud.PRIVATE):
+                policies.append(POLICY_OVERSUBSCRIPTION)
+        if record.dominant_pattern == PATTERN_HOURLY_PEAK:
+            policies.append(POLICY_PRE_PROVISION)
+        if record.region_agnostic and record.n_regions >= 2:
+            policies.append(POLICY_REGION_SHIFT)
+        if np.isfinite(record.creation_cv) and record.creation_cv >= 2.0:
+            policies.append(POLICY_FAILURE_PREDICTION)
+        if record.dominant_pattern == PATTERN_IRREGULAR:
+            policies.append(POLICY_CONSERVATIVE)
+        return policies
+
+    # ------------------------------------------------------------------
+    # drift tracking ("continuously extracts workload knowledge")
+    # ------------------------------------------------------------------
+    def diff(
+        self,
+        newer: "WorkloadKnowledgeBase",
+        *,
+        utilization_tolerance: float = 0.05,
+        short_fraction_tolerance: float = 0.15,
+    ) -> list["KnowledgeDrift"]:
+        """Knowledge drift from this (older) snapshot to ``newer``.
+
+        Section V motivates a knowledge base that *continuously* extracts
+        workload knowledge; drift records are what a refresh would feed to
+        the downstream optimization policies (e.g. a subscription whose
+        dominant pattern changed should have its policies re-derived).
+        """
+        drifts: list[KnowledgeDrift] = []
+        for sub_id, old in self._records.items():
+            if sub_id not in newer:
+                drifts.append(
+                    KnowledgeDrift(sub_id, "presence", "known", "disappeared")
+                )
+                continue
+            new = newer.get(sub_id)
+            if old.dominant_pattern and new.dominant_pattern and (
+                old.dominant_pattern != new.dominant_pattern
+            ):
+                drifts.append(
+                    KnowledgeDrift(
+                        sub_id, "dominant_pattern",
+                        old.dominant_pattern, new.dominant_pattern,
+                    )
+                )
+            if old.regions != new.regions:
+                drifts.append(
+                    KnowledgeDrift(
+                        sub_id, "regions",
+                        ",".join(old.regions), ",".join(new.regions),
+                    )
+                )
+            if (
+                np.isfinite(old.mean_utilization)
+                and np.isfinite(new.mean_utilization)
+                and abs(new.mean_utilization - old.mean_utilization)
+                > utilization_tolerance
+            ):
+                drifts.append(
+                    KnowledgeDrift(
+                        sub_id, "mean_utilization",
+                        f"{old.mean_utilization:.3f}", f"{new.mean_utilization:.3f}",
+                    )
+                )
+            if (
+                np.isfinite(old.short_lived_fraction)
+                and np.isfinite(new.short_lived_fraction)
+                and abs(new.short_lived_fraction - old.short_lived_fraction)
+                > short_fraction_tolerance
+            ):
+                drifts.append(
+                    KnowledgeDrift(
+                        sub_id, "short_lived_fraction",
+                        f"{old.short_lived_fraction:.2f}",
+                        f"{new.short_lived_fraction:.2f}",
+                    )
+                )
+            if old.region_agnostic != new.region_agnostic:
+                drifts.append(
+                    KnowledgeDrift(
+                        sub_id, "region_agnostic",
+                        str(old.region_agnostic), str(new.region_agnostic),
+                    )
+                )
+        for sub_id in newer._records:
+            if sub_id not in self._records:
+                drifts.append(KnowledgeDrift(sub_id, "presence", "unknown", "appeared"))
+        return drifts
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_json(self, path: str | Path | None = None) -> str:
+        """Serialize to JSON (optionally writing to ``path``)."""
+        def _clean(value):
+            if isinstance(value, float) and not np.isfinite(value):
+                return None
+            return value
+
+        payload = []
+        for record in self.subscriptions():
+            row = asdict(record)
+            row["regions"] = list(record.regions)
+            payload.append({k: _clean(v) for k, v in row.items()})
+        text = json.dumps(payload, indent=2)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, text_or_path: str | Path) -> "WorkloadKnowledgeBase":
+        """Deserialize from a JSON string or file path."""
+        text = str(text_or_path)
+        if "\n" not in text and len(text) < 4096:
+            path = Path(text)
+            if path.exists():
+                text = path.read_text()
+        kb = cls()
+        for row in json.loads(text):
+            row["regions"] = tuple(row.get("regions", ()))
+            for key in (
+                "lifetime_p50",
+                "short_lived_fraction",
+                "creation_cv",
+                "mean_utilization",
+                "p95_utilization",
+            ):
+                if row.get(key) is None:
+                    row[key] = float("nan")
+            record = SubscriptionKnowledge(**row)
+            kb._records[record.subscription_id] = record
+        return kb

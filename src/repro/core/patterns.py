@@ -1,0 +1,251 @@
+"""Four-way utilization pattern classification (Section IV-A).
+
+The paper buckets VM CPU utilization series into *diurnal*, *stable*,
+*irregular* and *hourly-peak*:
+
+* stable   -- "extracted by restricting the standard deviation";
+* diurnal  -- daily periodicity "detected using the approach discussed in
+  [18]" (AUTOPERIOD, see :mod:`repro.core.periodicity`);
+* hourly-peak -- "a special diurnal pattern ... period equal to one hour";
+* irregular -- everything else.
+
+Two classification backends are provided: the default ``targeted`` backend
+tests exactly the two periods of interest (1 hour, 1 day) on the ACF and
+periodogram, which is fast enough to sweep whole traces; the ``autoperiod``
+backend runs the full Vlachos et al. candidate+validation pipeline.  The
+ablation benchmark compares them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.periodicity import autocorrelation, detect_periods
+from repro.telemetry.schema import (
+    Cloud,
+    PATTERN_DIURNAL,
+    PATTERN_HOURLY_PEAK,
+    PATTERN_IRREGULAR,
+    PATTERN_STABLE,
+)
+from repro.telemetry.store import TraceStore
+from repro.timebase import SAMPLE_PERIOD, SAMPLES_PER_DAY, SAMPLES_PER_HOUR, SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Thresholds of the pattern classifier."""
+
+    #: Std threshold below which a series is "stable".
+    stable_std_threshold: float = 0.035
+    #: Minimum ACF value at the (refined) daily lag for "diurnal".
+    diurnal_min_acf: float = 0.25
+    #: Minimum ACF value at the hourly lag for "hourly-peak".
+    hourly_min_acf: float = 0.25
+    #: Periodogram power at the target bin must exceed this multiple of the
+    #: mean spectral power for the period to be considered significant.
+    min_power_ratio: float = 4.0
+    #: Relative search window around the target lag for the ACF hill.
+    lag_tolerance: float = 0.15
+    #: Series shorter than this (seconds) cannot be classified reliably.
+    min_duration: float = 2 * SECONDS_PER_DAY
+    #: "targeted" (fast, default) or "autoperiod" (full Vlachos pipeline).
+    method: str = "targeted"
+
+
+def _power_ratio(series: np.ndarray, lag: int) -> float:
+    """Periodogram power near period ``lag`` relative to the mean power."""
+    x = series - series.mean()
+    n = x.size
+    spectrum = np.abs(np.fft.rfft(x)) ** 2 / n
+    spectrum[0] = 0.0
+    mean_power = spectrum.mean()
+    if mean_power == 0:
+        return 0.0
+    target_bin = n / lag
+    lo = max(1, int(np.floor(target_bin * 0.9)))
+    hi = min(spectrum.size - 1, int(np.ceil(target_bin * 1.1)))
+    if hi < lo:
+        return 0.0
+    return float(spectrum[lo : hi + 1].max() / mean_power)
+
+
+def _acf_hill_value(acf: np.ndarray, lag: int, tolerance: float) -> float:
+    """Max ACF on a hill near ``lag``; -inf when no local max is present."""
+    search = max(1, int(round(lag * tolerance)))
+    lo = max(1, lag - search)
+    hi = min(acf.size - 2, lag + search)
+    if hi <= lo:
+        return float("-inf")
+    window = acf[lo : hi + 1]
+    peak_offset = int(np.argmax(window))
+    peak_lag = lo + peak_offset
+    if acf[peak_lag] >= acf[peak_lag - 1] and acf[peak_lag] >= acf[peak_lag + 1]:
+        return float(acf[peak_lag])
+    return float("-inf")
+
+
+def classify_series(
+    series: np.ndarray,
+    config: ClassifierConfig | None = None,
+    *,
+    sample_period: float = SAMPLE_PERIOD,
+) -> str:
+    """Classify one utilization series into the four canonical patterns."""
+    config = config or ClassifierConfig()
+    x = np.asarray(series, dtype=np.float64).ravel()
+    if x.size * sample_period < config.min_duration:
+        return PATTERN_IRREGULAR
+
+    if float(x.std()) < config.stable_std_threshold:
+        return PATTERN_STABLE
+
+    hourly_lag = max(2, int(round(3600.0 / sample_period)))
+    daily_lag = int(round(24 * 3600.0 / sample_period))
+
+    if config.method == "autoperiod":
+        return _classify_autoperiod(x, config, hourly_lag, daily_lag)
+
+    acf = autocorrelation(x, max_lag=min(x.size // 2, daily_lag * 2))
+    hourly_acf = _acf_hill_value(acf, hourly_lag, config.lag_tolerance)
+    if (
+        hourly_acf >= config.hourly_min_acf
+        and _power_ratio(x, hourly_lag) >= config.min_power_ratio
+    ):
+        return PATTERN_HOURLY_PEAK
+
+    if daily_lag < acf.size:
+        daily_acf = _acf_hill_value(acf, daily_lag, config.lag_tolerance)
+        if (
+            daily_acf >= config.diurnal_min_acf
+            and _power_ratio(x, daily_lag) >= config.min_power_ratio
+        ):
+            return PATTERN_DIURNAL
+    return PATTERN_IRREGULAR
+
+
+def _classify_autoperiod(
+    x: np.ndarray, config: ClassifierConfig, hourly_lag: int, daily_lag: int
+) -> str:
+    periods = detect_periods(
+        x,
+        min_acf=min(config.hourly_min_acf, config.diurnal_min_acf),
+        max_candidates=16,
+    )
+    for detected in periods:
+        if abs(detected.period_samples - hourly_lag) <= config.lag_tolerance * hourly_lag:
+            return PATTERN_HOURLY_PEAK
+    for detected in periods:
+        if abs(detected.period_samples - daily_lag) <= config.lag_tolerance * daily_lag:
+            return PATTERN_DIURNAL
+    return PATTERN_IRREGULAR
+
+
+@dataclass(frozen=True)
+class PatternMix:
+    """Measured share of each pattern over a VM population (Fig. 5d)."""
+
+    counts: dict[str, int]
+
+    @property
+    def total(self) -> int:
+        """Number of classified VMs."""
+        return sum(self.counts.values())
+
+    def fraction(self, pattern: str) -> float:
+        """Share of one pattern in the mix."""
+        total = self.total
+        return self.counts.get(pattern, 0) / total if total else 0.0
+
+    def as_fractions(self) -> dict[str, float]:
+        """All four pattern shares."""
+        return {
+            pattern: self.fraction(pattern)
+            for pattern in (
+                PATTERN_DIURNAL,
+                PATTERN_STABLE,
+                PATTERN_IRREGULAR,
+                PATTERN_HOURLY_PEAK,
+            )
+        }
+
+
+class PatternClassifier:
+    """Classifies whole traces and evaluates against ground-truth labels."""
+
+    def __init__(self, config: ClassifierConfig | None = None) -> None:
+        self.config = config or ClassifierConfig()
+
+    def classify(self, series: np.ndarray, *, sample_period: float = SAMPLE_PERIOD) -> str:
+        """Classify one series."""
+        return classify_series(series, self.config, sample_period=sample_period)
+
+    def classify_store(
+        self,
+        store: TraceStore,
+        *,
+        cloud: Cloud | None = None,
+        max_vms: int | None = None,
+        seed: int = 0,
+    ) -> dict[int, str]:
+        """Classify every telemetry-bearing VM alive long enough to judge.
+
+        The series is trimmed to the VM's alive span before classification so
+        the zero-padding outside its life does not register as variance.
+        ``max_vms`` caps the work by *uniformly subsampling* eligible VMs
+        (truncating instead would bias the mix toward the subscriptions that
+        were generated first).
+        """
+        duration = store.metadata.duration
+        sample_period = store.metadata.sample_period
+        eligible: list[int] = []
+        for vm_id in store.vm_ids_with_utilization(cloud=cloud):
+            vm = store.vm(vm_id)
+            start = max(vm.created_at, 0.0)
+            end = min(vm.ended_at, duration)
+            if end - start >= self.config.min_duration:
+                eligible.append(vm_id)
+        if max_vms is not None and len(eligible) > max_vms:
+            rng = np.random.default_rng(seed)
+            chosen = rng.choice(len(eligible), size=max_vms, replace=False)
+            eligible = [eligible[i] for i in sorted(chosen)]
+        labels: dict[int, str] = {}
+        for vm_id in eligible:
+            vm = store.vm(vm_id)
+            start = max(vm.created_at, 0.0)
+            end = min(vm.ended_at, duration)
+            series = store.utilization(vm_id)
+            lo = int(np.ceil(start / sample_period))
+            hi = int(np.floor(end / sample_period))
+            labels[vm_id] = self.classify(series[lo:hi], sample_period=sample_period)
+        return labels
+
+    def pattern_mix(
+        self,
+        store: TraceStore,
+        *,
+        cloud: Cloud | None = None,
+        max_vms: int | None = None,
+    ) -> PatternMix:
+        """The Fig. 5(d) statistic: share of each pattern in a cloud."""
+        labels = self.classify_store(store, cloud=cloud, max_vms=max_vms)
+        return PatternMix(counts=dict(Counter(labels.values())))
+
+    def accuracy(
+        self,
+        store: TraceStore,
+        *,
+        cloud: Cloud | None = None,
+        max_vms: int | None = None,
+    ) -> float:
+        """Agreement with the generator's ground-truth pattern labels."""
+        labels = self.classify_store(store, cloud=cloud, max_vms=max_vms)
+        if not labels:
+            raise ValueError("no VM was classified; is telemetry attached?")
+        hits = sum(
+            1 for vm_id, label in labels.items() if store.vm(vm_id).pattern == label
+        )
+        return hits / len(labels)

@@ -1,0 +1,177 @@
+"""Period detection for utilization series.
+
+The paper classifies diurnal and hourly-peak patterns "using the approach
+discussed in [18]" -- Vlachos, Yu and Castelli, *On periodicity detection
+and structural periodic similarity* (ICDM 2005), a.k.a. AUTOPERIOD.  The
+algorithm has two stages:
+
+1. **Candidate extraction**: pick periodogram peaks whose power exceeds a
+   significance threshold (we use the maximum periodogram power of shuffled
+   surrogates at a configurable percentile, the paper's Monte-Carlo
+   significance test).
+2. **Validation on the ACF**: a true period lands on a *hill* (local
+   maximum) of the autocorrelation function; spectral leakage artifacts land
+   in valleys and are discarded.  The candidate is refined to the nearest
+   ACF hill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DetectedPeriod:
+    """One validated period, in samples."""
+
+    period_samples: float
+    #: Normalized periodogram power of the originating candidate.
+    power: float
+    #: Autocorrelation value at the validated lag.
+    acf_value: float
+
+
+def periodogram_candidates(
+    series: np.ndarray,
+    *,
+    max_candidates: int = 8,
+    significance: float = 0.99,
+    n_surrogates: int = 20,
+    rng: np.random.Generator | None = None,
+) -> list[tuple[float, float]]:
+    """Stage 1: ``(period_samples, power)`` candidates from the periodogram.
+
+    The power threshold is the ``significance`` quantile of the maximum
+    periodogram power over ``n_surrogates`` random permutations of the
+    series (permutation destroys temporal structure but preserves the value
+    distribution).
+    """
+    x = np.asarray(series, dtype=np.float64).ravel()
+    n = x.size
+    if n < 8:
+        return []
+    x = x - x.mean()
+    if np.allclose(x, 0.0):
+        return []
+    spectrum = np.abs(np.fft.rfft(x)) ** 2 / n
+    spectrum[0] = 0.0
+
+    rng = rng or np.random.default_rng(0)
+    surrogate_maxima = np.empty(n_surrogates)
+    shuffled = x.copy()
+    for i in range(n_surrogates):
+        rng.shuffle(shuffled)
+        surrogate_spectrum = np.abs(np.fft.rfft(shuffled)) ** 2 / n
+        surrogate_spectrum[0] = 0.0
+        surrogate_maxima[i] = surrogate_spectrum.max()
+    threshold = float(np.quantile(surrogate_maxima, significance))
+
+    candidate_bins = np.where(spectrum > threshold)[0]
+    if candidate_bins.size == 0:
+        return []
+    # Strongest first, cap the list.
+    order = np.argsort(spectrum[candidate_bins])[::-1][:max_candidates]
+    candidates = []
+    for bin_idx in candidate_bins[order]:
+        if bin_idx == 0:
+            continue
+        period = n / bin_idx
+        candidates.append((float(period), float(spectrum[bin_idx])))
+    return candidates
+
+
+def autocorrelation(series: np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Biased sample ACF up to ``max_lag`` (defaults to n // 2)."""
+    x = np.asarray(series, dtype=np.float64).ravel()
+    n = x.size
+    if n < 2:
+        raise ValueError("series too short for autocorrelation")
+    if max_lag is None:
+        max_lag = n // 2
+    x = x - x.mean()
+    variance = float(np.dot(x, x))
+    if variance == 0:
+        return np.zeros(max_lag + 1)
+    # FFT-based autocorrelation for O(n log n).
+    n_fft = int(2 ** np.ceil(np.log2(2 * n)))
+    spectrum = np.fft.rfft(x, n_fft)
+    acov = np.fft.irfft(spectrum * np.conj(spectrum))[: max_lag + 1]
+    return acov / variance
+
+
+def _is_on_hill(acf: np.ndarray, lag: int, *, search: int) -> tuple[bool, int]:
+    """Whether ``lag`` is near a local ACF maximum; returns the hill lag."""
+    lo = max(1, lag - search)
+    hi = min(acf.size - 2, lag + search)
+    if hi <= lo:
+        return False, lag
+    window = acf[lo : hi + 1]
+    peak_offset = int(np.argmax(window))
+    peak_lag = lo + peak_offset
+    # Hill test: the peak must be a genuine local maximum.
+    if 0 < peak_lag < acf.size - 1:
+        if acf[peak_lag] >= acf[peak_lag - 1] and acf[peak_lag] >= acf[peak_lag + 1]:
+            return True, peak_lag
+    return False, lag
+
+
+def detect_periods(
+    series: np.ndarray,
+    *,
+    min_acf: float = 0.15,
+    max_candidates: int = 8,
+    significance: float = 0.99,
+    rng: np.random.Generator | None = None,
+) -> list[DetectedPeriod]:
+    """Full AUTOPERIOD: candidates validated and refined on ACF hills.
+
+    Returns validated periods sorted by periodogram power (strongest first).
+    Duplicate hills are collapsed to the strongest candidate.
+    """
+    x = np.asarray(series, dtype=np.float64).ravel()
+    candidates = periodogram_candidates(
+        x, max_candidates=max_candidates, significance=significance, rng=rng
+    )
+    if not candidates:
+        return []
+    acf = autocorrelation(x)
+    results: dict[int, DetectedPeriod] = {}
+    for period, power in candidates:
+        lag = int(round(period))
+        if lag < 2 or lag >= acf.size:
+            continue
+        search = max(1, lag // 8)
+        on_hill, hill_lag = _is_on_hill(acf, lag, search=search)
+        if not on_hill:
+            continue
+        if acf[hill_lag] < min_acf:
+            continue
+        existing = results.get(hill_lag)
+        if existing is None or power > existing.power:
+            results[hill_lag] = DetectedPeriod(
+                period_samples=float(hill_lag),
+                power=power,
+                acf_value=float(acf[hill_lag]),
+            )
+    return sorted(results.values(), key=lambda p: p.power, reverse=True)
+
+
+def has_period(
+    series: np.ndarray,
+    period_samples: float,
+    *,
+    tolerance: float = 0.15,
+    min_acf: float = 0.15,
+    rng: np.random.Generator | None = None,
+) -> bool:
+    """Whether a validated period close to ``period_samples`` exists.
+
+    ``tolerance`` is relative: a detected period within
+    ``period_samples * (1 +/- tolerance)`` counts as a match.
+    """
+    for detected in detect_periods(series, min_acf=min_acf, rng=rng):
+        if abs(detected.period_samples - period_samples) <= tolerance * period_samples:
+            return True
+    return False

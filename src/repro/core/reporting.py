@@ -1,0 +1,146 @@
+"""Markdown reporting for characterization studies.
+
+``python -m repro study --markdown out.md`` (and
+:func:`study_report_markdown` programmatically) renders a
+:class:`~repro.core.study.CharacterizationStudy` as a standalone markdown
+document: the headline comparison table, the four insights with their
+measured evidence, pattern-mix bars, and (when the trace is supplied)
+sparkline views of the temporal series -- a shareable artifact of one
+study run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.render import mix_table, sparkline
+from repro.core.study import CharacterizationStudy
+from repro.telemetry.schema import Cloud
+from repro.telemetry.store import TraceStore
+
+
+def study_report_markdown(
+    study: CharacterizationStudy,
+    *,
+    store: TraceStore | None = None,
+    title: str = "Cloud workload characterization",
+) -> str:
+    """Render a study as a markdown document."""
+    lines = [f"# {title}", ""]
+    lines.append(
+        "Private vs public cloud comparison in the style of *How Different "
+        "are the Cloud Workloads?* (DSN'23)."
+    )
+    lines.append("")
+
+    # ------------------------------------------------------------------
+    # headline metrics
+    # ------------------------------------------------------------------
+    lines.append("## Headline metrics")
+    lines.append("")
+    lines.append("| Metric | Private | Public |")
+    lines.append("|---|---|---|")
+    rows = [
+        (
+            "Median VMs per subscription",
+            f"{study.private.vms_per_subscription.median:.0f}",
+            f"{study.public.vms_per_subscription.median:.0f}",
+        ),
+        (
+            "Median subscriptions per cluster",
+            f"{study.private.subscriptions_per_cluster.median:.0f}",
+            f"{study.public.subscriptions_per_cluster.median:.0f}",
+        ),
+        (
+            "Shortest-bin lifetime fraction",
+            f"{study.private.shortest_bin_fraction:.0%}",
+            f"{study.public.shortest_bin_fraction:.0%}",
+        ),
+        (
+            "Median creation CV across regions",
+            f"{study.private.creation_cv.median:.2f}",
+            f"{study.public.creation_cv.median:.2f}",
+        ),
+        (
+            "Single-region core share",
+            f"{study.private.single_region_core_share:.0%}",
+            f"{study.public.single_region_core_share:.0%}",
+        ),
+        (
+            "Median node-level correlation",
+            f"{study.private.node_correlation.median:.2f}",
+            f"{study.public.node_correlation.median:.2f}",
+        ),
+    ]
+    if study.private.region_correlation and study.public.region_correlation:
+        rows.append(
+            (
+                "Median cross-region correlation",
+                f"{study.private.region_correlation.median:.2f}",
+                f"{study.public.region_correlation.median:.2f}",
+            )
+        )
+    for name, a, b in rows:
+        lines.append(f"| {name} | {a} | {b} |")
+    lines.append("")
+
+    # ------------------------------------------------------------------
+    # insights
+    # ------------------------------------------------------------------
+    lines.append("## The paper's insights, re-evaluated")
+    lines.append("")
+    for insight, holds, evidence in study.insights():
+        status = "✅" if holds else "❌"
+        lines.append(f"- {status} **{insight}**")
+        lines.append(f"  - {evidence}")
+    lines.append("")
+
+    # ------------------------------------------------------------------
+    # pattern mixes
+    # ------------------------------------------------------------------
+    lines.append("## Utilization pattern mix (Fig. 5d)")
+    lines.append("")
+    lines.append("```")
+    lines.append(
+        mix_table(
+            {
+                "private": study.private.pattern_mix.as_fractions(),
+                "public": study.public.pattern_mix.as_fractions(),
+            }
+        )
+    )
+    lines.append("```")
+    lines.append("")
+
+    # ------------------------------------------------------------------
+    # temporal sparklines (only when the trace is at hand)
+    # ------------------------------------------------------------------
+    if store is not None:
+        from repro.core.deployment import vm_count_series, vm_creation_series
+
+        lines.append("## Temporal shapes (hourly, whole week)")
+        lines.append("")
+        lines.append("```")
+        for cloud in (Cloud.PRIVATE, Cloud.PUBLIC):
+            try:
+                counts = vm_count_series(store, cloud)
+                creations = vm_creation_series(store, cloud)
+            except ValueError:
+                continue
+            lines.append(f"{cloud} VM count   {sparkline(counts)}")
+            lines.append(f"{cloud} creations  {sparkline(creations)}")
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_study_report(
+    study: CharacterizationStudy,
+    path: str | Path,
+    *,
+    store: TraceStore | None = None,
+) -> Path:
+    """Write the markdown report to ``path``."""
+    out = Path(path)
+    out.write_text(study_report_markdown(study, store=store))
+    return out

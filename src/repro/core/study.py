@@ -1,0 +1,244 @@
+"""One-call orchestration of the full characterization (the whole paper).
+
+:func:`run_study` executes every analysis of Sections III and IV on a trace
+and packages the results per cloud; :meth:`CharacterizationStudy.insights`
+re-evaluates the paper's four insights on the measured data and reports
+whether each one holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.heatmap import Heatmap2D
+from repro.analysis.stats import BoxplotStats
+from repro.core import correlation as corr
+from repro.core import deployment as dep
+from repro.core import utilization as util
+from repro.core.patterns import ClassifierConfig, PatternMix
+from repro.telemetry.schema import (
+    Cloud,
+    PATTERN_DIURNAL,
+    PATTERN_HOURLY_PEAK,
+    PATTERN_STABLE,
+)
+from repro.telemetry.store import TraceStore
+from repro.workloads.lifetime import SHORTEST_BIN_SECONDS
+
+
+@dataclass
+class CloudCharacterization:
+    """All measured characteristics of one cloud."""
+
+    cloud: Cloud
+    vms_per_subscription: EmpiricalCdf
+    subscriptions_per_cluster: BoxplotStats
+    vm_sizes: Heatmap2D
+    lifetime: EmpiricalCdf
+    shortest_bin_fraction: float
+    creation_cv: BoxplotStats
+    regions_per_subscription: EmpiricalCdf
+    core_weighted_regions: EmpiricalCdf
+    single_region_core_share: float
+    pattern_mix: PatternMix
+    node_correlation: EmpiricalCdf
+    region_correlation: EmpiricalCdf | None
+
+
+def characterize_cloud(
+    store: TraceStore,
+    cloud: Cloud,
+    *,
+    classifier_config: ClassifierConfig | None = None,
+    max_pattern_vms: int | None = 800,
+) -> CloudCharacterization:
+    """Run every Section III/IV analysis for one cloud."""
+    core_weighted = dep.regions_per_subscription_core_weighted(store, cloud)
+    try:
+        region_corr = corr.region_level_correlation(store, cloud)
+    except ValueError:
+        region_corr = None
+    return CloudCharacterization(
+        cloud=cloud,
+        vms_per_subscription=dep.vms_per_subscription_cdf(store, cloud),
+        subscriptions_per_cluster=dep.subscriptions_per_cluster(store, cloud),
+        vm_sizes=dep.vm_size_heatmap(store, cloud),
+        lifetime=dep.lifetime_cdf(store, cloud),
+        shortest_bin_fraction=float(
+            dep.lifetime_cdf(store, cloud).evaluate(SHORTEST_BIN_SECONDS)
+        ),
+        creation_cv=dep.creation_cv_boxplot(store, cloud),
+        regions_per_subscription=dep.regions_per_subscription_cdf(store, cloud),
+        core_weighted_regions=core_weighted,
+        single_region_core_share=float(core_weighted.evaluate(1.0)),
+        pattern_mix=util.pattern_mix(
+            store, cloud, config=classifier_config, max_vms=max_pattern_vms
+        ),
+        node_correlation=corr.node_level_correlation(store, cloud),
+        region_correlation=region_corr,
+    )
+
+
+@dataclass
+class CharacterizationStudy:
+    """Private-vs-public characterization of one trace."""
+
+    private: CloudCharacterization
+    public: CloudCharacterization
+
+    def insights(self) -> list[tuple[str, bool, str]]:
+        """Evaluate the paper's four insights on the measured trace.
+
+        Returns ``(insight, holds, evidence)`` triples.
+        """
+        out = []
+
+        # Insight 1: larger private deployments; more diverse public clusters.
+        private_median = self.private.vms_per_subscription.median
+        public_median = self.public.vms_per_subscription.median
+        cluster_ratio = (
+            self.public.subscriptions_per_cluster.median
+            / max(1e-9, self.private.subscriptions_per_cluster.median)
+        )
+        out.append(
+            (
+                "Insight 1: private deployments are larger; public clusters "
+                "host many more subscriptions",
+                private_median > public_median and cluster_ratio > 5,
+                f"median VMs/subscription {private_median:.0f} vs "
+                f"{public_median:.0f}; subscriptions/cluster ratio "
+                f"{cluster_ratio:.1f}x",
+            )
+        )
+
+        # Insight 2: private deployments static with bursts; public diurnal.
+        private_cv = self.private.creation_cv.median
+        public_cv = self.public.creation_cv.median
+        out.append(
+            (
+                "Insight 2: private arrivals are burstier (higher CV) than "
+                "the public cloud's regular diurnal pattern",
+                private_cv > public_cv,
+                f"median creation CV {private_cv:.2f} vs {public_cv:.2f}",
+            )
+        )
+
+        # Insight 3: pattern mixes differ in the documented directions.
+        p_mix = self.private.pattern_mix.as_fractions()
+        q_mix = self.public.pattern_mix.as_fractions()
+        holds = (
+            p_mix[PATTERN_DIURNAL] > q_mix[PATTERN_DIURNAL]
+            and q_mix[PATTERN_STABLE] > p_mix[PATTERN_STABLE]
+            and p_mix[PATTERN_HOURLY_PEAK] > q_mix[PATTERN_HOURLY_PEAK]
+        )
+        out.append(
+            (
+                "Insight 3: utilization-pattern mixes differ (private more "
+                "diurnal/hourly-peak, public more stable)",
+                holds,
+                f"diurnal {p_mix[PATTERN_DIURNAL]:.2f}/{q_mix[PATTERN_DIURNAL]:.2f}, "
+                f"stable {p_mix[PATTERN_STABLE]:.2f}/{q_mix[PATTERN_STABLE]:.2f}, "
+                f"hourly-peak {p_mix[PATTERN_HOURLY_PEAK]:.2f}/"
+                f"{q_mix[PATTERN_HOURLY_PEAK]:.2f}",
+            )
+        )
+
+        # Insight 4: private workloads more similar at node level and more
+        # region-agnostic.
+        node_gap = self.private.node_correlation.median - self.public.node_correlation.median
+        region_evidence = "region correlation unavailable"
+        region_holds = True
+        if self.private.region_correlation and self.public.region_correlation:
+            region_gap = (
+                self.private.region_correlation.median
+                - self.public.region_correlation.median
+            )
+            region_holds = region_gap > 0
+            region_evidence = (
+                f"median cross-region correlation "
+                f"{self.private.region_correlation.median:.2f} vs "
+                f"{self.public.region_correlation.median:.2f}"
+            )
+        out.append(
+            (
+                "Insight 4: private workloads are more homogeneous per node "
+                "and more region-agnostic",
+                node_gap > 0.2 and region_holds,
+                f"median node correlation "
+                f"{self.private.node_correlation.median:.2f} vs "
+                f"{self.public.node_correlation.median:.2f}; {region_evidence}",
+            )
+        )
+        return out
+
+    def report(self) -> str:
+        """Human-readable comparison report."""
+        lines = ["Cloud workload characterization (private vs public)", "=" * 55]
+        rows = [
+            (
+                "median VMs per subscription",
+                f"{self.private.vms_per_subscription.median:.0f}",
+                f"{self.public.vms_per_subscription.median:.0f}",
+            ),
+            (
+                "median subscriptions per cluster",
+                f"{self.private.subscriptions_per_cluster.median:.0f}",
+                f"{self.public.subscriptions_per_cluster.median:.0f}",
+            ),
+            (
+                "shortest-bin lifetime fraction",
+                f"{self.private.shortest_bin_fraction:.0%}",
+                f"{self.public.shortest_bin_fraction:.0%}",
+            ),
+            (
+                "median creation CV across regions",
+                f"{self.private.creation_cv.median:.2f}",
+                f"{self.public.creation_cv.median:.2f}",
+            ),
+            (
+                "single-region core share",
+                f"{self.private.single_region_core_share:.0%}",
+                f"{self.public.single_region_core_share:.0%}",
+            ),
+            (
+                "median node-level correlation",
+                f"{self.private.node_correlation.median:.2f}",
+                f"{self.public.node_correlation.median:.2f}",
+            ),
+        ]
+        width = max(len(r[0]) for r in rows)
+        lines.append(f"{'metric'.ljust(width)}  private   public")
+        for name, a, b in rows:
+            lines.append(f"{name.ljust(width)}  {a:>7}  {b:>7}")
+        lines.append("")
+        for insight, holds, evidence in self.insights():
+            status = "HOLDS" if holds else "DOES NOT HOLD"
+            lines.append(f"[{status}] {insight}")
+            lines.append(f"         {evidence}")
+        return "\n".join(lines)
+
+
+def run_study(
+    store: TraceStore,
+    *,
+    classifier_config: ClassifierConfig | None = None,
+    max_pattern_vms: int | None = 800,
+) -> CharacterizationStudy:
+    """Characterize both clouds of a merged trace."""
+    return CharacterizationStudy(
+        private=characterize_cloud(
+            store,
+            Cloud.PRIVATE,
+            classifier_config=classifier_config,
+            max_pattern_vms=max_pattern_vms,
+        ),
+        public=characterize_cloud(
+            store,
+            Cloud.PUBLIC,
+            classifier_config=classifier_config,
+            max_pattern_vms=max_pattern_vms,
+        ),
+    )

@@ -1,0 +1,23 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every experiment returns an
+:class:`~repro.experiments.base.ExperimentResult` holding (a) the numeric
+series behind the figure, (b) shape checks comparing the measured result to
+the paper's reported values, and (c) a plain-text rendering.
+:func:`repro.experiments.runner.run_all` executes the whole evaluation and
+:func:`repro.experiments.runner.write_experiments_md` regenerates
+``EXPERIMENTS.md``.
+"""
+
+from repro.experiments.base import CheckResult, ExperimentResult
+from repro.experiments.config import ExperimentConfig, get_trace
+from repro.experiments.runner import run_all, write_experiments_md
+
+__all__ = [
+    "CheckResult",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "get_trace",
+    "run_all",
+    "write_experiments_md",
+]

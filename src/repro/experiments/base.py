@@ -1,0 +1,53 @@
+"""Common result types for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One paper-vs-measured shape check."""
+
+    name: str
+    passed: bool
+    paper: str
+    measured: str
+
+    def render(self) -> str:
+        """One-line rendering."""
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: paper={self.paper} measured={self.measured}"
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of reproducing one figure/table."""
+
+    experiment_id: str
+    title: str
+    checks: list[CheckResult] = field(default_factory=list)
+    #: Named numeric outputs (CDF points, series, box stats) for plotting.
+    series: dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """Whether every shape check passed."""
+        return all(check.passed for check in self.checks)
+
+    def check(self, name: str, passed: bool, paper: str, measured: str) -> None:
+        """Append one check."""
+        self.checks.append(
+            CheckResult(name=name, passed=bool(passed), paper=paper, measured=measured)
+        )
+
+    def render(self) -> str:
+        """Multi-line text rendering for the console and EXPERIMENTS.md."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for check in self.checks:
+            lines.append("  " + check.render())
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)

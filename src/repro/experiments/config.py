@@ -1,0 +1,43 @@
+"""Shared configuration and trace cache for the experiment harness.
+
+Generating a trace pair is the expensive step, so experiments share one
+cached trace per ``(seed, scale)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.store import TraceStore
+from repro.workloads.generator import GeneratorConfig, generate_trace_pair
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment run."""
+
+    seed: int = 7
+    #: Workload scale; 0.3 keeps a laptop run under a minute while leaving
+    #: enough statistics for every figure.
+    scale: float = 0.3
+
+    def generator_config(self) -> GeneratorConfig:
+        """The generator settings implied by this experiment config."""
+        return GeneratorConfig(seed=self.seed, scale=self.scale)
+
+
+_TRACE_CACHE: dict[tuple[int, float], TraceStore] = {}
+
+
+def get_trace(config: ExperimentConfig | None = None) -> TraceStore:
+    """Return the (cached) merged private+public trace for ``config``."""
+    config = config or ExperimentConfig()
+    key = (config.seed, config.scale)
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = generate_trace_pair(config.generator_config())
+    return _TRACE_CACHE[key]
+
+
+def clear_trace_cache() -> None:
+    """Drop cached traces (used by tests to bound memory)."""
+    _TRACE_CACHE.clear()

@@ -1,0 +1,127 @@
+"""Export experiment series as plot-ready CSV files.
+
+``ExperimentResult.series`` holds the numeric data behind each figure
+(CDF point sets, hourly series, box-plot statistics, heatmaps, percentile
+bands).  :func:`export_results` writes one directory per experiment with one
+CSV per series, so any plotting stack can regenerate the figures without
+importing this library.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.heatmap import Heatmap2D
+from repro.analysis.stats import BoxplotStats
+from repro.analysis.timeseries import PercentileBands
+from repro.experiments.base import ExperimentResult
+
+
+def _write_rows(path: Path, header: list[str], rows) -> None:
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _export_value(directory: Path, name: str, value) -> Path | None:
+    """Write one series value; returns the file path or None if unsupported."""
+    path = directory / f"{name}.csv"
+
+    if isinstance(value, tuple) and len(value) == 2 and all(
+        isinstance(v, np.ndarray) for v in value
+    ):
+        # CDF points: (values, probabilities).
+        _write_rows(path, ["value", "probability"], zip(value[0], value[1]))
+        return path
+
+    if isinstance(value, np.ndarray) and value.ndim == 1:
+        _write_rows(path, ["index", "value"], enumerate(value.tolist()))
+        return path
+
+    if isinstance(value, BoxplotStats):
+        _write_rows(
+            path,
+            ["q1", "median", "q3", "whisker_low", "whisker_high", "n_outliers", "n_samples"],
+            [[value.q1, value.median, value.q3, value.whisker_low,
+              value.whisker_high, value.n_outliers, value.n_samples]],
+        )
+        return path
+
+    if isinstance(value, Heatmap2D):
+        rows = []
+        for i in range(value.density.shape[0]):
+            for j in range(value.density.shape[1]):
+                rows.append(
+                    [value.x_edges[i], value.x_edges[i + 1],
+                     value.y_edges[j], value.y_edges[j + 1],
+                     value.density[i, j]]
+                )
+        _write_rows(path, ["x_low", "x_high", "y_low", "y_high", "density"], rows)
+        return path
+
+    if isinstance(value, PercentileBands):
+        header = ["index"] + [f"p{p:g}" for p in value.percentiles]
+        rows = [
+            [i] + [float(value.bands[k, i]) for k in range(len(value.percentiles))]
+            for i in range(value.bands.shape[1])
+        ]
+        _write_rows(path, header, rows)
+        return path
+
+    if isinstance(value, dict):
+        items = list(value.items())
+        if items and all(isinstance(v, np.ndarray) for _k, v in items):
+            # Region/vm -> series: one column per key.
+            length = min(v.size for _k, v in items)
+            header = ["index"] + [str(k) for k, _v in items]
+            rows = [
+                [i] + [float(v[i]) for _k, v in items] for i in range(length)
+            ]
+            _write_rows(path, header, rows)
+            return path
+        if items and all(isinstance(v, (int, float)) for _k, v in items):
+            _write_rows(path, ["key", "value"], items)
+            return path
+        return None
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        rows = [
+            (f.name, getattr(value, f.name))
+            for f in dataclasses.fields(value)
+            if isinstance(getattr(value, f.name), (int, float, str, bool))
+        ]
+        if rows:
+            _write_rows(path, ["field", "value"], rows)
+            return path
+    return None
+
+
+def export_result(result: ExperimentResult, directory: str | Path) -> list[Path]:
+    """Write one experiment's series into ``directory/<experiment_id>/``."""
+    target = Path(directory) / result.experiment_id
+    target.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, value in result.series.items():
+        path = _export_value(target, name, value)
+        if path is not None:
+            written.append(path)
+    checks_path = target / "checks.csv"
+    _write_rows(
+        checks_path,
+        ["check", "passed", "paper", "measured"],
+        [[c.name, c.passed, c.paper, c.measured] for c in result.checks],
+    )
+    written.append(checks_path)
+    return written
+
+
+def export_results(
+    results: list[ExperimentResult], directory: str | Path
+) -> dict[str, list[Path]]:
+    """Export every experiment; returns ``{experiment_id: [paths]}``."""
+    return {r.experiment_id: export_result(r, directory) for r in results}

@@ -1,0 +1,178 @@
+"""Chance-constrained resource over-subscription.
+
+Section III-B implication: "over-subscription assigns fewer resources to
+each VM than requested, but allows VMs to use more resources if the physical
+machine has spare capacity. ... This problem can be addressed through
+chance-constrained optimization framework, which has been shown to improve
+utilization by 20% to 86% in Azure compared to baseline methods, depending
+on the level of safety constraint."
+
+We implement that experiment: pack VMs onto a node under the chance
+constraint ``P(aggregate demand > capacity) <= epsilon`` estimated from
+telemetry, against the baseline that reserves each VM's full requested
+cores.  Sweeping ``epsilon`` reproduces the utilization-gain band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.schema import Cloud
+from repro.telemetry.store import TraceStore
+
+
+@dataclass(frozen=True)
+class OversubscriptionOutcome:
+    """Result of packing one node with a given policy."""
+
+    policy: str
+    epsilon: float
+    n_vms_packed: int
+    reserved_cores: float
+    capacity_cores: float
+    #: Time-averaged aggregate demand / capacity.
+    mean_utilization: float
+    #: Empirical fraction of samples where demand exceeded capacity.
+    violation_probability: float
+
+    def improvement_over(self, baseline: "OversubscriptionOutcome") -> float:
+        """Relative mean-utilization gain versus ``baseline``."""
+        if baseline.mean_utilization <= 0:
+            raise ValueError("baseline utilization must be positive")
+        return self.mean_utilization / baseline.mean_utilization - 1.0
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    vm_id: int
+    cores: float
+    demand: np.ndarray  # cores actually used over time
+
+
+class ChanceConstrainedOversubscriber:
+    """Packs VMs onto a node under a chance constraint on overload.
+
+    The demand of VM *i* is ``cores_i * utilization_i(t)``.  The baseline
+    packs while ``sum(cores_i) <= capacity`` (classic reservation); the
+    chance-constrained policy packs while the empirical ``1 - epsilon``
+    quantile of the aggregate demand stays below capacity.
+    """
+
+    def __init__(
+        self,
+        store: TraceStore,
+        *,
+        cloud: Cloud | None = None,
+        min_alive_fraction: float = 0.9,
+        max_candidates: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.store = store
+        self._candidates = self._collect(cloud, min_alive_fraction, max_candidates, seed)
+        if not self._candidates:
+            raise ValueError("no telemetry-bearing VM qualifies as a candidate")
+
+    def _collect(
+        self,
+        cloud: Cloud | None,
+        min_alive_fraction: float,
+        max_candidates: int | None,
+        seed: int,
+    ) -> list[_Candidate]:
+        duration = self.store.metadata.duration
+        candidates = []
+        for vm_id in self.store.vm_ids_with_utilization(cloud=cloud):
+            vm = self.store.vm(vm_id)
+            alive = min(vm.ended_at, duration) - max(vm.created_at, 0.0)
+            if alive < min_alive_fraction * duration:
+                continue
+            series = self.store.utilization(vm_id).astype(np.float64)
+            candidates.append(
+                _Candidate(vm_id=vm_id, cores=vm.cores, demand=vm.cores * series)
+            )
+        if max_candidates is not None and len(candidates) > max_candidates:
+            rng = np.random.default_rng(seed)
+            idx = rng.choice(len(candidates), size=max_candidates, replace=False)
+            candidates = [candidates[i] for i in sorted(idx)]
+        return candidates
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of VMs available for packing."""
+        return len(self._candidates)
+
+    def pack_baseline(self, capacity_cores: float) -> OversubscriptionOutcome:
+        """Reserve full requested cores; stop when the node is 'full'."""
+        packed: list[_Candidate] = []
+        reserved = 0.0
+        for candidate in self._candidates:
+            if reserved + candidate.cores > capacity_cores:
+                continue
+            packed.append(candidate)
+            reserved += candidate.cores
+        return self._outcome("baseline", 0.0, packed, reserved, capacity_cores)
+
+    def pack_chance_constrained(
+        self, capacity_cores: float, epsilon: float
+    ) -> OversubscriptionOutcome:
+        """Pack while ``quantile_{1-eps}(aggregate demand) <= capacity``."""
+        if not 0 < epsilon < 1:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        packed: list[_Candidate] = []
+        reserved = 0.0
+        aggregate = np.zeros(self.store.metadata.n_samples, dtype=np.float64)
+        for candidate in self._candidates:
+            trial = aggregate + candidate.demand
+            # method="higher" is conservative: the empirical exceedance
+            # probability of the returned value is guaranteed <= epsilon.
+            if np.quantile(trial, 1.0 - epsilon, method="higher") > capacity_cores:
+                continue
+            aggregate = trial
+            packed.append(candidate)
+            reserved += candidate.cores
+        return self._outcome(
+            "chance-constrained", epsilon, packed, reserved, capacity_cores
+        )
+
+    def _outcome(
+        self,
+        policy: str,
+        epsilon: float,
+        packed: list[_Candidate],
+        reserved: float,
+        capacity: float,
+    ) -> OversubscriptionOutcome:
+        if packed:
+            aggregate = np.sum([c.demand for c in packed], axis=0)
+        else:
+            aggregate = np.zeros(self.store.metadata.n_samples)
+        return OversubscriptionOutcome(
+            policy=policy,
+            epsilon=epsilon,
+            n_vms_packed=len(packed),
+            reserved_cores=reserved,
+            capacity_cores=capacity,
+            mean_utilization=float(aggregate.mean() / capacity),
+            violation_probability=float(np.mean(aggregate > capacity)),
+        )
+
+
+def sweep_epsilon(
+    oversubscriber: ChanceConstrainedOversubscriber,
+    capacity_cores: float,
+    epsilons: tuple[float, ...] = (0.3, 0.1, 0.05, 0.01, 0.001),
+) -> list[tuple[OversubscriptionOutcome, float]]:
+    """The paper's 20-86% experiment: gain vs baseline for each epsilon.
+
+    Returns ``(outcome, improvement)`` pairs, loosest constraint first.
+    Looser safety (larger epsilon) packs more VMs and gains more utilization;
+    the violation probability column shows the price.
+    """
+    baseline = oversubscriber.pack_baseline(capacity_cores)
+    results = []
+    for epsilon in epsilons:
+        outcome = oversubscriber.pack_chance_constrained(capacity_cores, epsilon)
+        results.append((outcome, outcome.improvement_over(baseline)))
+    return results

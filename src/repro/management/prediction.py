@@ -1,0 +1,261 @@
+"""Workload predictors built on knowledge-base features.
+
+Two predictors from the paper's motivation and implications:
+
+* :class:`LifetimePredictor` -- "With knowledge of the lifetime of VMs
+  running on this node, the cloud platform can optimize [migration] by only
+  migrating out VMs with long remaining time" (Section I).  Follows the
+  Resource Central recipe [8]: per-subscription historical lifetime
+  statistics with hierarchical fallback (subscription -> service -> cloud).
+* :class:`AllocationFailurePredictor` -- "a better workload-aware allocation
+  failure prediction method ... can be critical for improving the efficiency
+  of capacity management for the private cloud workloads" (Section III-B).
+  A from-scratch logistic regression over (allocation level, arrival burst)
+  features.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.schema import Cloud
+from repro.telemetry.store import TraceStore
+from repro.workloads.lifetime import SHORTEST_BIN_SECONDS
+
+
+class LogisticRegression:
+    """Minimal batch-gradient logistic regression (no external deps)."""
+
+    def __init__(
+        self,
+        *,
+        learning_rate: float = 0.5,
+        n_iterations: int = 400,
+        l2: float = 1e-4,
+    ) -> None:
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.weights: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+
+    def _design(self, features: np.ndarray) -> np.ndarray:
+        features = (features - self._mean) / self._std
+        return np.hstack([np.ones((features.shape[0], 1)), features])
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        """Fit on ``features`` (n x d) and binary ``labels`` (n,)."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        if features.ndim != 2 or features.shape[0] != labels.shape[0]:
+            raise ValueError("features must be (n, d) aligned with labels (n,)")
+        if not np.all(np.isin(labels, (0.0, 1.0))):
+            raise ValueError("labels must be binary")
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0)
+        self._std = np.where(self._std == 0, 1.0, self._std)
+        design = self._design(features)
+        weights = np.zeros(design.shape[1])
+        n = design.shape[0]
+        for _ in range(self.n_iterations):
+            predictions = self._sigmoid(design @ weights)
+            gradient = design.T @ (predictions - labels) / n + self.l2 * weights
+            weights -= self.learning_rate * gradient
+        self.weights = weights
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row."""
+        if self.weights is None:
+            raise RuntimeError("fit() must be called before predict_proba()")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return self._sigmoid(self._design(features) @ self.weights)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary predictions at ``threshold``."""
+        return (self.predict_proba(features) >= threshold).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class LifetimeEvaluation:
+    """Holdout evaluation of the lifetime predictor."""
+
+    accuracy: float
+    base_rate: float
+    n_train: int
+    n_test: int
+
+
+class LifetimePredictor:
+    """Predicts whether a new VM will be short-lived (Resource Central style).
+
+    Training data is the VMs created in the first part of the window; each
+    subscription's observed short-lived fraction (with Laplace smoothing and
+    fallback to its service, then its cloud) is the predicted probability
+    for its future VMs.
+    """
+
+    def __init__(self, *, smoothing: float = 2.0) -> None:
+        self.smoothing = smoothing
+        self._sub_stats: dict[int, tuple[int, int]] = {}
+        self._service_stats: dict[str, tuple[int, int]] = {}
+        self._cloud_stats: dict[str, tuple[int, int]] = {}
+
+    def fit(
+        self,
+        store: TraceStore,
+        *,
+        train_until: float | None = None,
+    ) -> "LifetimePredictor":
+        """Learn per-subscription short-lived rates from completed VMs."""
+        duration = store.metadata.duration
+        if train_until is None:
+            train_until = duration / 2
+        sub_counts: dict[int, list[int]] = defaultdict(lambda: [0, 0])
+        service_counts: dict[str, list[int]] = defaultdict(lambda: [0, 0])
+        cloud_counts: dict[str, list[int]] = defaultdict(lambda: [0, 0])
+        for vm in store.vms(completed_only=True):
+            if vm.created_at < 0 or vm.created_at >= train_until:
+                continue
+            if vm.ended_at > train_until:
+                continue  # not yet observable at training time
+            short = int(vm.lifetime <= SHORTEST_BIN_SECONDS)
+            for counts, key in (
+                (sub_counts, vm.subscription_id),
+                (service_counts, vm.service),
+                (cloud_counts, str(vm.cloud)),
+            ):
+                counts[key][0] += short
+                counts[key][1] += 1
+        self._sub_stats = {k: (v[0], v[1]) for k, v in sub_counts.items()}
+        self._service_stats = {k: (v[0], v[1]) for k, v in service_counts.items()}
+        self._cloud_stats = {k: (v[0], v[1]) for k, v in cloud_counts.items()}
+        return self
+
+    def predict_short_probability(
+        self, *, subscription_id: int, service: str, cloud: str
+    ) -> float:
+        """P(lifetime <= shortest bin) for a new VM, with fallback."""
+        for stats, key, min_n in (
+            (self._sub_stats, subscription_id, 5),
+            (self._service_stats, service, 20),
+            (self._cloud_stats, cloud, 1),
+        ):
+            if key in stats:
+                short, total = stats[key]
+                if total >= min_n:
+                    return (short + self.smoothing) / (total + 2 * self.smoothing)
+        return 0.5
+
+    def predict_remaining_time(
+        self, vm, *, now: float, long_estimate: float = 48 * 3600.0
+    ) -> float:
+        """Expected remaining lifetime used by the migration planner."""
+        p_short = self.predict_short_probability(
+            subscription_id=vm.subscription_id,
+            service=vm.service,
+            cloud=str(vm.cloud),
+        )
+        age = now - vm.created_at
+        if p_short > 0.5 and age < SHORTEST_BIN_SECONDS:
+            return SHORTEST_BIN_SECONDS - age
+        return long_estimate
+
+    def evaluate(
+        self,
+        store: TraceStore,
+        *,
+        train_until: float | None = None,
+        threshold: float = 0.5,
+    ) -> LifetimeEvaluation:
+        """Holdout accuracy on VMs created after the training cut."""
+        duration = store.metadata.duration
+        if train_until is None:
+            train_until = duration / 2
+        self.fit(store, train_until=train_until)
+        correct = 0
+        total = 0
+        positives = 0
+        for vm in store.vms(completed_only=True):
+            if vm.created_at < train_until or vm.ended_at > duration:
+                continue
+            p = self.predict_short_probability(
+                subscription_id=vm.subscription_id,
+                service=vm.service,
+                cloud=str(vm.cloud),
+            )
+            truth = int(vm.lifetime <= SHORTEST_BIN_SECONDS)
+            positives += truth
+            correct += int((p >= threshold) == bool(truth))
+            total += 1
+        if total == 0:
+            raise ValueError("no completed test VMs after the training cut")
+        n_train = sum(v[1] for v in self._sub_stats.values())
+        return LifetimeEvaluation(
+            accuracy=correct / total,
+            base_rate=max(positives / total, 1 - positives / total),
+            n_train=n_train,
+            n_test=total,
+        )
+
+
+class AllocationFailurePredictor:
+    """Predicts region-hour allocation-failure risk from capacity features."""
+
+    def __init__(self) -> None:
+        self.model = LogisticRegression()
+
+    @staticmethod
+    def _features_and_labels(
+        store: TraceStore, cloud: Cloud
+    ) -> tuple[np.ndarray, np.ndarray]:
+        from repro.analysis.timeseries import hourly_event_counts
+        from repro.core.deployment import vm_count_series
+        from repro.telemetry.schema import EventKind
+
+        rows = []
+        labels = []
+        for region in store.region_names(cloud=cloud):
+            capacity = sum(
+                c.capacity_cores
+                for c in store.clusters.values()
+                if c.region == region and c.cloud == cloud
+            )
+            if capacity <= 0:
+                continue
+            counts = vm_count_series(store, cloud, region=region).astype(np.float64)
+            creations = hourly_event_counts(
+                store.event_times(EventKind.CREATE, cloud=cloud, region=region),
+                duration=store.metadata.duration,
+            ).astype(np.float64)
+            failures = hourly_event_counts(
+                store.event_times(
+                    EventKind.ALLOCATION_FAILURE, cloud=cloud, region=region
+                ),
+                duration=store.metadata.duration,
+            )
+            load = counts / counts.max() if counts.max() else counts
+            for hour in range(len(counts)):
+                rows.append([load[hour], creations[hour]])
+                labels.append(1.0 if failures[hour] > 0 else 0.0)
+        return np.array(rows), np.array(labels)
+
+    def fit(self, store: TraceStore, cloud: Cloud) -> "AllocationFailurePredictor":
+        """Train on the region-hour grid of one cloud."""
+        features, labels = self._features_and_labels(store, cloud)
+        if features.size == 0:
+            raise ValueError(f"no {cloud} regions with data")
+        self.model.fit(features, labels)
+        return self
+
+    def predict_risk(self, load_fraction: float, recent_creations: float) -> float:
+        """Failure probability for a (load, burst) state."""
+        return float(self.model.predict_proba([[load_fraction, recent_creations]])[0])

@@ -1,0 +1,34 @@
+"""Telemetry substrate: the trace schema and store every analysis consumes.
+
+The paper's dataset (Section II) consists of (a) detailed VM inventory
+information (subscription, VM size, placement, ...) and (b) average resource
+utilization reported every 5 minutes.  :class:`repro.telemetry.store.TraceStore`
+is our equivalent artifact: three logical tables (``vms``, ``events``,
+``utilization``) plus topology metadata, with typed records defined in
+:mod:`repro.telemetry.schema`.
+"""
+
+from repro.telemetry.schema import Cloud, EventKind, EventRecord, VMRecord
+from repro.telemetry.store import TraceMetadata, TraceStore
+from repro.telemetry.counters import (
+    all_node_utilizations,
+    node_utilization,
+    region_average_utilization,
+    subscription_region_utilization,
+)
+from repro.telemetry.io import load_trace, save_trace
+
+__all__ = [
+    "Cloud",
+    "EventKind",
+    "EventRecord",
+    "TraceMetadata",
+    "TraceStore",
+    "VMRecord",
+    "all_node_utilizations",
+    "load_trace",
+    "node_utilization",
+    "region_average_utilization",
+    "save_trace",
+    "subscription_region_utilization",
+]

@@ -1,0 +1,109 @@
+"""Derived utilization aggregates.
+
+The node-level and region-level similarity studies of Section IV-B do not
+operate on raw VM counters: the node series is the (core-weighted) sum of its
+hosted VMs' usage, and the region series of a subscription is "the averaged
+utilization computed at the region level for each studied subscription".
+This module derives both from a :class:`~repro.telemetry.store.TraceStore`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.schema import Cloud
+from repro.telemetry.store import TraceStore
+
+
+def node_utilization(store: TraceStore, node_id: int) -> np.ndarray | None:
+    """CPU utilization series of a node, in ``[0, 1]``.
+
+    Computed as the core-weighted sum of hosted VM utilizations divided by
+    the node's core capacity ("the node CPU utilization mostly originates
+    from the usage of VMs", Section IV-B).  Returns ``None`` when no hosted
+    VM has telemetry.
+    """
+    node = store.nodes.get(node_id)
+    if node is None:
+        raise KeyError(f"unknown node_id {node_id}")
+    total = np.zeros(store.metadata.n_samples, dtype=np.float64)
+    found = False
+    for vm in store.vms():
+        if vm.node_id != node_id:
+            continue
+        series = store.utilization(vm.vm_id)
+        if series is None:
+            continue
+        total += vm.cores * series.astype(np.float64)
+        found = True
+    if not found:
+        return None
+    return np.clip(total / node.capacity_cores, 0.0, 1.0)
+
+
+def all_node_utilizations(
+    store: TraceStore, *, cloud: Cloud | None = None
+) -> dict[int, np.ndarray]:
+    """Utilization series for every node with telemetry, grouped in one pass.
+
+    Prefer this over calling :func:`node_utilization` per node when scanning
+    a fleet: it groups VMs by node once instead of per call.
+    """
+    sums: dict[int, np.ndarray] = {}
+    for node_id, vms in store.vms_by_node(cloud=cloud).items():
+        node = store.nodes.get(node_id)
+        if node is None:
+            continue
+        total = np.zeros(store.metadata.n_samples, dtype=np.float64)
+        found = False
+        for vm in vms:
+            series = store.utilization(vm.vm_id)
+            if series is None:
+                continue
+            total += vm.cores * series.astype(np.float64)
+            found = True
+        if found:
+            sums[node_id] = np.clip(total / node.capacity_cores, 0.0, 1.0)
+    return sums
+
+
+def region_average_utilization(
+    store: TraceStore,
+    *,
+    cloud: Cloud | None = None,
+    region: str | None = None,
+    vm_ids: list[int] | None = None,
+) -> np.ndarray:
+    """Average utilization across a VM population (equal VM weights)."""
+    if vm_ids is None:
+        vm_ids = [
+            vm.vm_id
+            for vm in store.vms(cloud=cloud, region=region)
+            if store.has_utilization(vm.vm_id)
+        ]
+    if not vm_ids:
+        raise ValueError("no VMs with utilization match the filter")
+    matrix = store.utilization_matrix(vm_ids)
+    return matrix.mean(axis=0).astype(np.float64)
+
+
+def subscription_region_utilization(
+    store: TraceStore, subscription_id: int
+) -> dict[str, np.ndarray]:
+    """Per-region average utilization series of one subscription.
+
+    This is the exact construction behind Fig. 7(b): for each region the
+    subscription deploys into, average the utilization of its VMs there.
+    Regions where no VM has telemetry are omitted.
+    """
+    by_region: dict[str, list[int]] = {}
+    for vm in store.vms():
+        if vm.subscription_id != subscription_id:
+            continue
+        if not store.has_utilization(vm.vm_id):
+            continue
+        by_region.setdefault(vm.region, []).append(vm.vm_id)
+    return {
+        region: store.utilization_matrix(ids).mean(axis=0).astype(np.float64)
+        for region, ids in by_region.items()
+    }

@@ -1,0 +1,127 @@
+"""Trace (de)serialization.
+
+A trace saves to a directory with four files:
+
+* ``metadata.json`` -- window duration, sample period, label;
+* ``topology.json`` -- regions, clusters, nodes, subscriptions;
+* ``vms.jsonl`` / ``events.jsonl`` -- one JSON object per row;
+* ``utilization.npz`` -- one float32 array per VM (key = vm id).
+
+``ended_at = inf`` (right-censored VMs) is encoded as JSON ``null``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.telemetry.schema import (
+    Cloud,
+    ClusterInfo,
+    EventKind,
+    EventRecord,
+    NodeInfo,
+    RegionInfo,
+    SubscriptionInfo,
+    VMRecord,
+)
+from repro.telemetry.store import TraceMetadata, TraceStore
+
+
+def save_trace(store: TraceStore, directory: str | Path) -> Path:
+    """Write ``store`` to ``directory`` (created if missing); returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    meta = {
+        "duration": store.metadata.duration,
+        "sample_period": store.metadata.sample_period,
+        "label": store.metadata.label,
+    }
+    (directory / "metadata.json").write_text(json.dumps(meta, indent=2))
+
+    topology = {
+        "regions": [vars(r) for r in store.regions.values()],
+        "clusters": [_plain(vars(c)) for c in store.clusters.values()],
+        "nodes": [_plain(vars(n)) for n in store.nodes.values()],
+        "subscriptions": [
+            {**_plain(vars(s)), "regions": list(s.regions)}
+            for s in store.subscriptions.values()
+        ],
+    }
+    (directory / "topology.json").write_text(json.dumps(topology, indent=2))
+
+    with (directory / "vms.jsonl").open("w") as fh:
+        for vm in store.vms():
+            row = _plain(vars(vm))
+            if math.isinf(vm.ended_at):
+                row["ended_at"] = None
+            fh.write(json.dumps(row) + "\n")
+
+    with (directory / "events.jsonl").open("w") as fh:
+        for event in store.events():
+            fh.write(json.dumps(_plain(vars(event))) + "\n")
+
+    arrays = {str(vm_id): series for vm_id, series in store.iter_utilization()}
+    np.savez_compressed(directory / "utilization.npz", **arrays)
+    return directory
+
+
+def load_trace(directory: str | Path) -> TraceStore:
+    """Read a trace previously written by :func:`save_trace`."""
+    directory = Path(directory)
+    meta = json.loads((directory / "metadata.json").read_text())
+    store = TraceStore(
+        TraceMetadata(
+            duration=meta["duration"],
+            sample_period=meta["sample_period"],
+            label=meta.get("label", ""),
+        )
+    )
+
+    topology = json.loads((directory / "topology.json").read_text())
+    for row in topology.get("regions", []):
+        store.add_region(RegionInfo(**row))
+    for row in topology.get("clusters", []):
+        row["cloud"] = Cloud(row["cloud"])
+        store.add_cluster(ClusterInfo(**row))
+    for row in topology.get("nodes", []):
+        row["cloud"] = Cloud(row["cloud"])
+        store.add_node(NodeInfo(**row))
+    for row in topology.get("subscriptions", []):
+        row["cloud"] = Cloud(row["cloud"])
+        row["regions"] = tuple(row.get("regions", ()))
+        store.add_subscription(SubscriptionInfo(**row))
+
+    with (directory / "vms.jsonl").open() as fh:
+        for line in fh:
+            row = json.loads(line)
+            row["cloud"] = Cloud(row["cloud"])
+            if row.get("ended_at") is None:
+                row["ended_at"] = float("inf")
+            store.add_vm(VMRecord(**row))
+
+    with (directory / "events.jsonl").open() as fh:
+        for line in fh:
+            row = json.loads(line)
+            row["cloud"] = Cloud(row["cloud"])
+            row["kind"] = EventKind(row["kind"])
+            store.add_event(EventRecord(**row))
+
+    npz_path = directory / "utilization.npz"
+    if npz_path.exists():
+        with np.load(npz_path) as arrays:
+            for key in arrays.files:
+                store.add_utilization(int(key), arrays[key])
+    return store
+
+
+def _plain(row: dict) -> dict:
+    """Render enum values as their string payloads for JSON."""
+    return {
+        key: (value.value if isinstance(value, (Cloud, EventKind)) else value)
+        for key, value in row.items()
+    }

@@ -1,0 +1,293 @@
+"""The in-memory trace store.
+
+A :class:`TraceStore` is the single artifact that flows from the simulator
+into every analysis.  It holds three logical tables:
+
+* ``vms`` -- one :class:`~repro.telemetry.schema.VMRecord` per VM;
+* ``events`` -- lifecycle events, time-ordered;
+* ``utilization`` -- per-VM 5-minute average CPU utilization arrays in
+  ``[0, 1]``;
+
+plus static topology (regions, clusters, nodes, subscriptions).  Analyses are
+pure functions over a store, mirroring how the paper's analyses are pure
+functions of Azure telemetry.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.timebase import SAMPLE_PERIOD, SECONDS_PER_WEEK
+from repro.telemetry.schema import (
+    Cloud,
+    ClusterInfo,
+    EventKind,
+    EventRecord,
+    NodeInfo,
+    RegionInfo,
+    SubscriptionInfo,
+    VMRecord,
+)
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """Global properties of an observation window."""
+
+    duration: float = SECONDS_PER_WEEK
+    sample_period: float = SAMPLE_PERIOD
+    label: str = ""
+
+    @property
+    def n_samples(self) -> int:
+        """Number of utilization samples spanning the window."""
+        return int(self.duration // self.sample_period)
+
+
+class TraceStore:
+    """Mutable container for one trace; append during simulation, then query.
+
+    The store deliberately keeps VM records immutable: a "terminated" VM is
+    recorded by *replacing* its record (see :meth:`finalize_vm`), so analyses
+    never observe a half-updated row.
+    """
+
+    def __init__(self, metadata: TraceMetadata | None = None) -> None:
+        self.metadata = metadata or TraceMetadata()
+        self._vms: dict[int, VMRecord] = {}
+        self._events: list[EventRecord] = []
+        self._events_sorted = True
+        self._utilization: dict[int, np.ndarray] = {}
+        self.regions: dict[str, RegionInfo] = {}
+        self.clusters: dict[int, ClusterInfo] = {}
+        self.nodes: dict[int, NodeInfo] = {}
+        self.subscriptions: dict[int, SubscriptionInfo] = {}
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def add_region(self, region: RegionInfo) -> None:
+        """Register a region (idempotent by name)."""
+        self.regions[region.name] = region
+
+    def add_cluster(self, cluster: ClusterInfo) -> None:
+        """Register a cluster."""
+        self.clusters[cluster.cluster_id] = cluster
+
+    def add_node(self, node: NodeInfo) -> None:
+        """Register a node."""
+        self.nodes[node.node_id] = node
+
+    def add_subscription(self, subscription: SubscriptionInfo) -> None:
+        """Register a subscription."""
+        self.subscriptions[subscription.subscription_id] = subscription
+
+    def add_vm(self, vm: VMRecord) -> None:
+        """Add a VM row; the id must be unused."""
+        if vm.vm_id in self._vms:
+            raise ValueError(f"duplicate vm_id {vm.vm_id}")
+        self._vms[vm.vm_id] = vm
+
+    def finalize_vm(self, vm_id: int, ended_at: float) -> None:
+        """Replace a VM row with a terminated copy."""
+        old = self._vms[vm_id]
+        if ended_at < old.created_at:
+            raise ValueError(
+                f"vm {vm_id}: ended_at {ended_at} precedes created_at {old.created_at}"
+            )
+        self._vms[vm_id] = VMRecord(
+            **{**old.__dict__, "ended_at": float(ended_at)}
+        )
+
+    def reassign_vm_placement(
+        self,
+        vm_id: int,
+        *,
+        node_id: int,
+        rack_id: int,
+        cluster_id: int,
+        region: str | None = None,
+    ) -> None:
+        """Update a VM's placement after a live (possibly cross-region) migration."""
+        old = self._vms[vm_id]
+        updates = {
+            "node_id": int(node_id),
+            "rack_id": int(rack_id),
+            "cluster_id": int(cluster_id),
+        }
+        if region is not None:
+            updates["region"] = region
+        self._vms[vm_id] = VMRecord(**{**old.__dict__, **updates})
+
+    def add_event(self, event: EventRecord) -> None:
+        """Append a lifecycle event."""
+        if self._events and event.time < self._events[-1].time:
+            self._events_sorted = False
+        self._events.append(event)
+
+    def add_utilization(self, vm_id: int, series: np.ndarray) -> None:
+        """Attach a 5-minute CPU utilization series (values in ``[0, 1]``)."""
+        if vm_id not in self._vms:
+            raise KeyError(f"unknown vm_id {vm_id}")
+        series = np.asarray(series, dtype=np.float32).ravel()
+        if series.size != self.metadata.n_samples:
+            raise ValueError(
+                f"utilization series for vm {vm_id} has {series.size} samples, "
+                f"expected {self.metadata.n_samples}"
+            )
+        if np.any(series < 0) or np.any(series > 1):
+            raise ValueError("utilization values must lie in [0, 1]")
+        self._utilization[vm_id] = series
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def vms(
+        self,
+        *,
+        cloud: Cloud | None = None,
+        region: str | None = None,
+        completed_only: bool = False,
+    ) -> list[VMRecord]:
+        """Return VM rows, optionally filtered."""
+        rows: Iterable[VMRecord] = self._vms.values()
+        if cloud is not None:
+            rows = (vm for vm in rows if vm.cloud == cloud)
+        if region is not None:
+            rows = (vm for vm in rows if vm.region == region)
+        if completed_only:
+            rows = (vm for vm in rows if vm.completed)
+        return list(rows)
+
+    def vm(self, vm_id: int) -> VMRecord:
+        """Return one VM row by id."""
+        return self._vms[vm_id]
+
+    def __contains__(self, vm_id: int) -> bool:
+        return vm_id in self._vms
+
+    def __len__(self) -> int:
+        return len(self._vms)
+
+    def events(
+        self,
+        *,
+        kind: EventKind | None = None,
+        cloud: Cloud | None = None,
+        region: str | None = None,
+    ) -> list[EventRecord]:
+        """Return events in time order, optionally filtered."""
+        if not self._events_sorted:
+            self._events.sort(key=lambda e: e.time)
+            self._events_sorted = True
+        rows: Iterable[EventRecord] = self._events
+        if kind is not None:
+            rows = (e for e in rows if e.kind == kind)
+        if cloud is not None:
+            rows = (e for e in rows if e.cloud == cloud)
+        if region is not None:
+            rows = (e for e in rows if e.region == region)
+        return list(rows)
+
+    def event_times(
+        self,
+        kind: EventKind,
+        *,
+        cloud: Cloud | None = None,
+        region: str | None = None,
+    ) -> np.ndarray:
+        """Timestamps of matching events as a float array."""
+        return np.array(
+            [e.time for e in self.events(kind=kind, cloud=cloud, region=region)],
+            dtype=np.float64,
+        )
+
+    def utilization(self, vm_id: int) -> np.ndarray | None:
+        """The 5-minute utilization series of a VM, or ``None`` if absent."""
+        return self._utilization.get(vm_id)
+
+    def has_utilization(self, vm_id: int) -> bool:
+        """Whether a utilization series is attached to this VM."""
+        return vm_id in self._utilization
+
+    def utilization_matrix(self, vm_ids: Iterable[int]) -> np.ndarray:
+        """Stack utilization series of ``vm_ids`` into a (n, T) matrix."""
+        series = []
+        for vm_id in vm_ids:
+            arr = self._utilization.get(vm_id)
+            if arr is None:
+                raise KeyError(f"vm {vm_id} has no utilization series")
+            series.append(arr)
+        if not series:
+            return np.empty((0, self.metadata.n_samples), dtype=np.float32)
+        return np.vstack(series)
+
+    def vm_ids_with_utilization(self, *, cloud: Cloud | None = None) -> list[int]:
+        """Ids of VMs that have a utilization series attached."""
+        if cloud is None:
+            return sorted(self._utilization)
+        return sorted(
+            vm_id
+            for vm_id in self._utilization
+            if self._vms[vm_id].cloud == cloud
+        )
+
+    def vms_by_node(self, *, cloud: Cloud | None = None) -> dict[int, list[VMRecord]]:
+        """Group VM rows by hosting node."""
+        groups: dict[int, list[VMRecord]] = defaultdict(list)
+        for vm in self.vms(cloud=cloud):
+            groups[vm.node_id].append(vm)
+        return dict(groups)
+
+    def vms_by_subscription(
+        self, *, cloud: Cloud | None = None
+    ) -> dict[int, list[VMRecord]]:
+        """Group VM rows by subscription."""
+        groups: dict[int, list[VMRecord]] = defaultdict(list)
+        for vm in self.vms(cloud=cloud):
+            groups[vm.subscription_id].append(vm)
+        return dict(groups)
+
+    def region_names(self, *, cloud: Cloud | None = None) -> list[str]:
+        """Names of regions with at least one VM of the given cloud."""
+        if cloud is None:
+            return sorted(self.regions)
+        return sorted({vm.region for vm in self.vms(cloud=cloud)})
+
+    def iter_utilization(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Iterate ``(vm_id, series)`` pairs."""
+        return iter(self._utilization.items())
+
+    # ------------------------------------------------------------------
+    # merging (private + public traces are generated independently)
+    # ------------------------------------------------------------------
+    def merge(self, other: "TraceStore") -> None:
+        """Absorb ``other`` into this store; ids must not collide."""
+        if other.metadata.n_samples != self.metadata.n_samples:
+            raise ValueError("cannot merge stores with different sampling grids")
+        for vm in other._vms.values():
+            self.add_vm(vm)
+        for event in other._events:
+            self.add_event(event)
+        for vm_id, series in other._utilization.items():
+            self._utilization[vm_id] = series
+        self.regions.update(other.regions)
+        self.clusters.update(other.clusters)
+        self.nodes.update(other.nodes)
+        self.subscriptions.update(other.subscriptions)
+
+    def summary(self) -> dict[str, int]:
+        """Cheap size summary for logging and reports."""
+        return {
+            "vms": len(self._vms),
+            "events": len(self._events),
+            "utilization_series": len(self._utilization),
+            "regions": len(self.regions),
+            "clusters": len(self.clusters),
+            "nodes": len(self.nodes),
+            "subscriptions": len(self.subscriptions),
+        }

@@ -1,0 +1,27 @@
+"""Synthetic workload generation.
+
+This package is the stand-in for the paper's proprietary dataset: it drives
+the :mod:`repro.cloud` substrate with private- and public-cloud demand whose
+statistics are calibrated to every quantitative anchor the paper reports
+(see DESIGN.md, "Calibration anchors").  The entry point is
+:func:`repro.workloads.generator.generate_trace` /
+:func:`repro.workloads.generator.generate_trace_pair`.
+"""
+
+from repro.workloads.generator import GeneratorConfig, TraceGenerator, generate_trace, generate_trace_pair
+from repro.workloads.profiles import CloudProfile, SpotConfig, private_profile, public_profile
+from repro.workloads.validation import CalibrationScorecard, validate_generator, validate_trace
+
+__all__ = [
+    "CloudProfile",
+    "GeneratorConfig",
+    "SpotConfig",
+    "CalibrationScorecard",
+    "TraceGenerator",
+    "validate_generator",
+    "validate_trace",
+    "generate_trace",
+    "generate_trace_pair",
+    "private_profile",
+    "public_profile",
+]

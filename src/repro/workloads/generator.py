@@ -1,0 +1,552 @@
+"""End-to-end trace generation: profile -> simulated week -> TraceStore.
+
+The generator is the substitution for the paper's proprietary dataset.  It
+plays a cloud's weekly demand against the :mod:`repro.cloud` substrate:
+
+1. build the fleet topology and subscriptions;
+2. bootstrap long-running base pools (backdated creations, like the VMs
+   that predate the paper's observation window);
+3. install churn arrivals (diurnal NHPP), private-cloud burst episodes and
+   public-cloud autoscalers into the discrete-event simulator;
+4. run the week;
+5. synthesize 5-minute CPU telemetry for every sufficiently long-lived VM,
+   with the shared-signal structure that controls the similarity analyses
+   of Section IV-B.
+
+``generate_trace_pair`` produces the merged private+public store that every
+experiment consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.allocator import PlacementPolicy
+from repro.cloud.autoscale import Autoscaler, diurnal_demand
+from repro.cloud.spot_market import SpotMarket
+from repro.cloud.entities import build_topology
+from repro.cloud.platform import CloudPlatform, VMRequest
+from repro.cloud.simulation import Simulator
+from repro.telemetry.schema import (
+    Cloud,
+    PATTERN_DIURNAL,
+    PATTERN_HOURLY_PEAK,
+    PATTERN_IRREGULAR,
+    PATTERN_STABLE,
+    SubscriptionInfo,
+)
+from repro.telemetry.store import TraceMetadata, TraceStore
+from repro.timebase import SAMPLE_PERIOD, SECONDS_PER_DAY, SECONDS_PER_WEEK, sample_times
+from repro.workloads.arrivals import diurnal_rate_curve, nhpp, sample_burst_episodes
+from repro.workloads.lifetime import LifetimeModel, burst_lifetime_model, perturbed_model
+from repro.workloads.profiles import CloudProfile
+from repro.workloads.services import ServiceArchetype, sample_service
+from repro.workloads.spatial import DEFAULT_REGION_POPULARITY, choose_regions
+from repro.workloads.utilization_models import (
+    diurnal_signal,
+    hourly_peak_signal,
+    irregular_signal,
+    mask_to_lifetime,
+    stable_signal,
+)
+
+#: UTC offset of the "headquarters clock" that region-agnostic services
+#: follow in every region (the geo-load-balancer of the ServiceX case study).
+GLOBAL_CLOCK_TZ = -8.0
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Reproducible generation settings."""
+
+    seed: int = 7
+    #: Scales subscription counts and churn rates (1.0 = DESIGN.md sizing).
+    scale: float = 1.0
+    duration: float = SECONDS_PER_WEEK
+    synthesize_utilization: bool = True
+    placement_policy: PlacementPolicy = PlacementPolicy.SPREAD
+    #: Section VII (threats to validity): simulate a holiday week where
+    #: every day behaves like a weekend (reduced activity everywhere).
+    holiday_week: bool = False
+
+
+@dataclass
+class _Subscription:
+    """Internal working record for one subscription."""
+
+    subscription_id: int
+    archetype: ServiceArchetype
+    regions: tuple[str, ...]
+    #: Per-(region) base pool sizes.
+    pool_sizes: dict[str, int]
+    bursty: bool = False
+    autoscaled: bool = False
+    phase_jitter_hours: float = 0.0
+    #: Level of this subscription's stable-pattern VMs.
+    stable_level: float = 0.2
+    #: Per-VM amplitude median for periodic patterns.
+    amplitude_median: float = 0.6
+    #: Subscription-specific churn lifetime mixture (heterogeneous fleet).
+    lifetime_model: LifetimeModel | None = None
+    #: Service model of this subscription ("iaas"/"paas"/"saas").
+    offering: str = "iaas"
+
+
+class TraceGenerator:
+    """Generates one cloud's weekly trace from a profile."""
+
+    def __init__(
+        self,
+        profile: CloudProfile,
+        config: GeneratorConfig | None = None,
+        *,
+        entity_offset: int = 0,
+    ) -> None:
+        self.profile = profile
+        self.config = config or GeneratorConfig()
+        self._offset = entity_offset * 1_000_000
+        seed_key = 0 if profile.cloud is Cloud.PRIVATE else 1
+        self._rng = np.random.default_rng([self.config.seed, seed_key])
+        self._next_deployment = self._offset
+        self._subscriptions: list[_Subscription] = []
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(self) -> TraceStore:
+        """Run the full pipeline and return the trace."""
+        profile = self.profile.scaled(self.config.scale)
+        store = TraceStore(
+            TraceMetadata(
+                duration=self.config.duration,
+                sample_period=SAMPLE_PERIOD,
+                label=str(profile.cloud),
+            )
+        )
+        topology = build_topology(profile.topology_spec(), id_offset=self._offset)
+        platform = CloudPlatform(
+            topology,
+            store,
+            policy=self.config.placement_policy,
+            rng=self._rng,
+            vm_id_offset=self._offset,
+        )
+        simulator = Simulator()
+
+        self._spot_market = None
+        if profile.spot is not None:
+            self._spot_market = SpotMarket(
+                platform,
+                pressure_threshold=profile.spot.pressure_threshold,
+                evaluation_interval=profile.spot.evaluation_interval,
+                rng=self._rng,
+            )
+            self._spot_market.install(
+                simulator,
+                start=profile.spot.evaluation_interval,
+                until=self.config.duration,
+            )
+
+        self._subscriptions = self._build_subscriptions(profile, store)
+        self._bootstrap_base_pools(profile, platform, simulator)
+        self._install_churn(profile, platform, simulator)
+        if profile.burst is not None:
+            self._install_bursts(profile, platform, simulator)
+        if profile.autoscale is not None:
+            self._install_autoscalers(profile, platform, simulator)
+
+        simulator.run(until=self.config.duration)
+
+        if self.config.synthesize_utilization:
+            self._synthesize_utilization(profile, store)
+        return store
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+    def _build_subscriptions(
+        self, profile: CloudProfile, store: TraceStore
+    ) -> list[_Subscription]:
+        rng = self._rng
+        region_names = [spec.name for spec in profile.regions]
+        subscriptions = []
+        for i in range(profile.n_subscriptions):
+            sub_id = self._offset + i
+            archetype = sample_service(profile.services, rng)
+            n_regions = profile.region_spread.sample_region_count(rng)
+            regions = choose_regions(
+                rng, region_names, n_regions, popularity=DEFAULT_REGION_POPULARITY
+            )
+            pool_cfg = profile.base_pool
+            size_median = pool_cfg.size_median
+            per_region_factor = 1.0
+            if len(regions) > 1:
+                size_median *= pool_cfg.multi_region_boost
+                per_region_factor = pool_cfg.multi_region_per_region_factor
+            pool_sizes = {}
+            for region in regions:
+                raw = rng.lognormal(np.log(size_median * per_region_factor), pool_cfg.size_sigma)
+                pool_sizes[region] = max(1, int(round(raw)))
+            sub = _Subscription(
+                subscription_id=sub_id,
+                archetype=archetype,
+                regions=regions,
+                pool_sizes=pool_sizes,
+                phase_jitter_hours=float(
+                    rng.uniform(-archetype.phase_jitter_hours, archetype.phase_jitter_hours)
+                ),
+                stable_level=float(rng.uniform(*archetype.stable_level_range)),
+                amplitude_median=float(np.clip(rng.lognormal(np.log(0.55), 0.35), 0.15, 1.0)),
+                lifetime_model=perturbed_model(profile.lifetime, rng),
+                offering=archetype.sample_offering(rng),
+            )
+            if profile.burst is not None:
+                sub.bursty = bool(rng.random() < profile.burst.subscription_fraction)
+            if profile.autoscale is not None:
+                sub.autoscaled = bool(
+                    rng.random() < profile.autoscale.subscription_fraction
+                )
+            subscriptions.append(sub)
+            store.add_subscription(
+                SubscriptionInfo(
+                    subscription_id=sub_id,
+                    cloud=profile.cloud,
+                    service=archetype.name,
+                    party=archetype.party,
+                    regions=regions,
+                    offering=sub.offering,
+                )
+            )
+        return subscriptions
+
+    def _new_deployment(self) -> int:
+        self._next_deployment += 1
+        return self._next_deployment
+
+    def _make_request(
+        self, sub: _Subscription, region: str, deployment_id: int, profile: CloudProfile
+    ) -> VMRequest:
+        return VMRequest(
+            subscription_id=sub.subscription_id,
+            deployment_id=deployment_id,
+            service=sub.archetype.name,
+            region=region,
+            sku=profile.sku_catalog.sample(self._rng),
+            pattern=sub.archetype.sample_pattern(self._rng),
+            offering=sub.offering,
+        )
+
+    # ------------------------------------------------------------------
+    # base pools
+    # ------------------------------------------------------------------
+    def _bootstrap_base_pools(
+        self, profile: CloudProfile, platform: CloudPlatform, simulator: Simulator
+    ) -> None:
+        rng = self._rng
+        duration = self.config.duration
+        for sub in self._subscriptions:
+            for region, size in sub.pool_sizes.items():
+                deployment_id = self._new_deployment()
+                for _ in range(size):
+                    request = self._make_request(sub, region, deployment_id, profile)
+                    backdate = -float(rng.uniform(0.0, 21 * SECONDS_PER_DAY))
+                    vm_id = platform.create_vm(request, 0.0, backdate_to=backdate)
+                    if vm_id is None:
+                        continue
+                    if rng.random() < profile.base_pool.churn_fraction:
+                        end = float(rng.uniform(0.0, duration))
+                        simulator.schedule(
+                            end, _timed_terminator(platform, simulator, vm_id)
+                        )
+
+    # ------------------------------------------------------------------
+    # churn (short-lived arrivals during the week)
+    # ------------------------------------------------------------------
+    def _install_churn(
+        self, profile: CloudProfile, platform: CloudPlatform, simulator: Simulator
+    ) -> None:
+        rng = self._rng
+        duration = self.config.duration
+        churn = profile.churn
+        # Subscriptions present in each region, used to attribute arrivals.
+        subs_by_region: dict[str, list[_Subscription]] = {}
+        for sub in self._subscriptions:
+            for region in sub.regions:
+                subs_by_region.setdefault(region, []).append(sub)
+
+        for region_spec in profile.regions:
+            region = region_spec.name
+            candidates = subs_by_region.get(region)
+            if not candidates:
+                continue
+            rate = diurnal_rate_curve(
+                base_per_hour=churn.base_rate_per_hour,
+                peak_per_hour=churn.peak_rate_per_hour,
+                tz_offset_hours=region_spec.tz_offset_hours,
+                weekend_factor=churn.weekend_factor,
+                holiday_week=self.config.holiday_week,
+            )
+            arrivals = nhpp(rate, churn.peak_rate_per_hour, duration, rng)
+            # Attribute churn proportionally to each subscription's footprint
+            # in the region: busy subscriptions create (and delete) more VMs.
+            weights = np.array(
+                [sub.pool_sizes.get(region, 1) for sub in candidates],
+                dtype=np.float64,
+            )
+            weights = weights / weights.sum()
+            for time in arrivals:
+                sub = candidates[int(rng.choice(len(candidates), p=weights))]
+                batch = 1 + int(rng.geometric(1.0 / max(1.0, churn.batch_mean)) - 1)
+                deployment_id = self._new_deployment()
+                model = sub.lifetime_model or profile.lifetime
+                lifetimes = model.sample(rng, size=batch)
+                simulator.schedule(
+                    float(time),
+                    _batch_creator(
+                        self, platform, simulator, sub, region, deployment_id,
+                        profile, lifetimes, duration,
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # private-cloud bursts
+    # ------------------------------------------------------------------
+    def _install_bursts(
+        self, profile: CloudProfile, platform: CloudPlatform, simulator: Simulator
+    ) -> None:
+        rng = self._rng
+        burst = profile.burst
+        assert burst is not None
+        burst_lifetimes = burst_lifetime_model()
+        duration = self.config.duration
+        for sub in self._subscriptions:
+            if not sub.bursty:
+                continue
+            episodes = sample_burst_episodes(
+                episodes_per_week=burst.episodes_per_week,
+                size_median=burst.size_median,
+                size_sigma=burst.size_sigma,
+                duration=duration,
+                rng=rng,
+            )
+            for episode in episodes:
+                region = sub.regions[int(rng.integers(len(sub.regions)))]
+                deployment_id = self._new_deployment()
+                # Rollout cleanup is itself bursty: most of an episode's
+                # temporary VMs are decommissioned together (the paper notes
+                # removals mirror the bursty creation pattern), the rest
+                # drain individually.
+                cohort_lifetime = burst_lifetimes.sample_one(rng)
+                individual = burst_lifetimes.sample(rng, size=episode.size)
+                shared = rng.random(episode.size) < 0.7
+                finite = np.where(shared, cohort_lifetime, individual)
+                lifetimes = np.where(
+                    rng.random(episode.size) < burst.censored_fraction,
+                    np.inf,
+                    finite,
+                )
+                simulator.schedule(
+                    episode.time,
+                    _batch_creator(
+                        self, platform, simulator, sub, region, deployment_id,
+                        profile, lifetimes, duration,
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # public-cloud autoscalers
+    # ------------------------------------------------------------------
+    def _install_autoscalers(
+        self, profile: CloudProfile, platform: CloudPlatform, simulator: Simulator
+    ) -> None:
+        rng = self._rng
+        autoscale = profile.autoscale
+        assert autoscale is not None
+        tz_by_region = {spec.name: spec.tz_offset_hours for spec in profile.regions}
+        for sub in self._subscriptions:
+            if not sub.autoscaled:
+                continue
+            region = sub.regions[int(rng.integers(len(sub.regions)))]
+            base = int(rng.integers(autoscale.base_range[0], autoscale.base_range[1] + 1))
+            amplitude = int(
+                rng.integers(autoscale.amplitude_range[0], autoscale.amplitude_range[1] + 1)
+            )
+            scaler = Autoscaler(
+                platform,
+                subscription_id=sub.subscription_id,
+                deployment_id=self._new_deployment(),
+                service=sub.archetype.name,
+                region=region,
+                sku=profile.sku_catalog.sample(rng),
+                pattern=sub.archetype.sample_pattern(rng),
+                offering=sub.offering,
+                demand=diurnal_demand(
+                    base=base,
+                    amplitude=amplitude,
+                    tz_offset_hours=tz_by_region[region],
+                    peak_hour=14.0 + sub.phase_jitter_hours,
+                    weekend_factor=0.6,
+                    holiday_week=self.config.holiday_week,
+                ),
+                evaluation_interval=autoscale.evaluation_interval,
+                rng=rng,
+            )
+            scaler.bootstrap(0.0, backdate_to=-float(rng.uniform(0, 14 * SECONDS_PER_DAY)))
+            scaler.install(simulator, start=autoscale.evaluation_interval, until=self.config.duration)
+
+    # ------------------------------------------------------------------
+    # telemetry synthesis
+    # ------------------------------------------------------------------
+    def _synthesize_utilization(self, profile: CloudProfile, store: TraceStore) -> None:
+        rng = self._rng
+        times = sample_times(store.metadata.n_samples)
+        tz_by_region = {spec.name: spec.tz_offset_hours for spec in profile.regions}
+        subs_by_id = {sub.subscription_id: sub for sub in self._subscriptions}
+        signal_cache: dict[tuple, np.ndarray] = {}
+
+        for vm in store.vms():
+            overlap_start = max(vm.created_at, 0.0)
+            overlap_end = min(vm.ended_at, self.config.duration)
+            if overlap_end - overlap_start < profile.telemetry_min_overlap:
+                continue
+            sub = subs_by_id[vm.subscription_id]
+            archetype = sub.archetype
+            tz = (
+                GLOBAL_CLOCK_TZ
+                if archetype.region_agnostic
+                else tz_by_region[vm.region]
+            )
+            series = self._vm_series(
+                vm.pattern, sub, tz, times, signal_cache, rng
+            )
+            series = mask_to_lifetime(
+                series, times, created_at=vm.created_at, ended_at=vm.ended_at
+            )
+            store.add_utilization(vm.vm_id, np.clip(series, 0.0, 1.0))
+
+    def _vm_series(
+        self,
+        pattern: str,
+        sub: _Subscription,
+        tz: float,
+        times: np.ndarray,
+        cache: dict[tuple, np.ndarray],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        noise = sub.archetype.noise
+        if pattern == PATTERN_STABLE:
+            level = float(np.clip(sub.stable_level * rng.lognormal(0.0, 0.2), 0.02, 0.6))
+            base = stable_signal(times, level=level, wobble=0.01, rng=rng)
+            return base + rng.normal(0.0, 0.006, size=times.shape[0])
+        if pattern == PATTERN_IRREGULAR:
+            base = irregular_signal(times, rng=rng)
+            return base + rng.normal(0.0, 0.01, size=times.shape[0])
+
+        key = (sub.subscription_id, pattern, round(tz, 2))
+        shared = cache.get(key)
+        if shared is None:
+            if pattern == PATTERN_HOURLY_PEAK:
+                shared = hourly_peak_signal(
+                    times,
+                    tz_offset_hours=tz,
+                    envelope_peak_hour=13.0 + sub.phase_jitter_hours,
+                    holiday_week=self.config.holiday_week,
+                )
+            else:
+                shared = diurnal_signal(
+                    times,
+                    tz_offset_hours=tz,
+                    peak_hour=14.0,
+                    phase_jitter_hours=sub.phase_jitter_hours,
+                    holiday_week=self.config.holiday_week,
+                )
+            cache[key] = shared
+        amplitude = float(
+            np.clip(sub.amplitude_median * rng.lognormal(0.0, noise.scale_sigma + 0.35), 0.1, 1.5)
+        )
+        # Idiosyncratic noise scales with the VM's amplitude so that the
+        # signal-to-noise ratio -- and hence classifiability and node-level
+        # correlation -- is controlled per cloud, not per VM.
+        eps = rng.normal(0.0, noise.additive_sigma * amplitude, size=times.shape[0])
+        return amplitude * shared + eps
+
+
+# ----------------------------------------------------------------------
+# scheduled-action factories (plain closures keep the simulator simple)
+# ----------------------------------------------------------------------
+def _batch_creator(
+    generator: TraceGenerator,
+    platform: CloudPlatform,
+    simulator: Simulator,
+    sub: _Subscription,
+    region: str,
+    deployment_id: int,
+    profile: CloudProfile,
+    lifetimes: np.ndarray,
+    duration: float,
+):
+    def action() -> None:
+        now = simulator.now
+        market = getattr(generator, "_spot_market", None)
+        spot_cfg = profile.spot
+        for lifetime in lifetimes:
+            request = generator._make_request(sub, region, deployment_id, profile)
+            vm_id = platform.create_vm(request, now)
+            if vm_id is None:
+                continue
+            if (
+                market is not None
+                and spot_cfg is not None
+                and generator._rng.random() < spot_cfg.churn_fraction
+            ):
+                market.register(vm_id)
+            end = now + float(lifetime)
+            if np.isfinite(end) and end < duration:
+                simulator.schedule(end, _timed_terminator(platform, simulator, vm_id))
+
+    return action
+
+
+def _timed_terminator(platform: CloudPlatform, simulator: Simulator, vm_id: int):
+    def action() -> None:
+        # The VM may already be gone: spot reclaim or node failure beat the
+        # scheduled termination to it.
+        if platform.allocator.node_of(vm_id) is None:
+            return
+        platform.terminate_vm(vm_id, simulator.now)
+
+    return action
+
+
+# ----------------------------------------------------------------------
+# top-level helpers
+# ----------------------------------------------------------------------
+def generate_trace(
+    profile: CloudProfile,
+    config: GeneratorConfig | None = None,
+    *,
+    entity_offset: int = 0,
+) -> TraceStore:
+    """Generate a single cloud's trace."""
+    return TraceGenerator(profile, config, entity_offset=entity_offset).generate()
+
+
+def generate_trace_pair(config: GeneratorConfig | None = None) -> TraceStore:
+    """Generate the merged private+public trace every experiment consumes."""
+    from repro.workloads.profiles import private_profile, public_profile
+
+    config = config or GeneratorConfig()
+    private = generate_trace(private_profile(), config, entity_offset=0)
+    public = generate_trace(public_profile(), config, entity_offset=1)
+    merged = TraceStore(
+        TraceMetadata(
+            duration=config.duration,
+            sample_period=SAMPLE_PERIOD,
+            label="private+public",
+        )
+    )
+    merged.merge(private)
+    merged.merge(public)
+    return merged

@@ -1,0 +1,210 @@
+"""Calibration self-check: does a generated trace still match the paper?
+
+Users who customize :class:`~repro.workloads.profiles.CloudProfile` knobs
+(bigger fleets, different services, new SKU mixes) need to know whether the
+trace still reproduces the paper's anchors before they trust downstream
+experiments.  :func:`validate_trace` measures every DESIGN.md anchor on a
+trace and returns a structured scorecard; :func:`validate_generator` is the
+one-call variant that generates and validates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import correlation as corr
+from repro.core import deployment as dep
+from repro.telemetry.schema import Cloud
+from repro.telemetry.store import TraceStore
+from repro.workloads.lifetime import SHORTEST_BIN_SECONDS
+
+
+@dataclass(frozen=True)
+class AnchorResult:
+    """One measured calibration anchor."""
+
+    name: str
+    paper: str
+    measured: float
+    lower: float
+    upper: float
+
+    @property
+    def passed(self) -> bool:
+        """Whether the measurement falls inside the tolerance band."""
+        return self.lower <= self.measured <= self.upper
+
+    def render(self) -> str:
+        """One-line rendering."""
+        status = "ok " if self.passed else "OFF"
+        return (
+            f"[{status}] {self.name}: measured {self.measured:.3f} "
+            f"(band [{self.lower:.3f}, {self.upper:.3f}], paper {self.paper})"
+        )
+
+
+@dataclass(frozen=True)
+class CalibrationScorecard:
+    """All anchors of one trace."""
+
+    anchors: tuple[AnchorResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every anchor is inside its band."""
+        return all(anchor.passed for anchor in self.anchors)
+
+    @property
+    def failures(self) -> tuple[AnchorResult, ...]:
+        """Anchors outside their bands."""
+        return tuple(a for a in self.anchors if not a.passed)
+
+    def render(self) -> str:
+        """Multi-line scorecard."""
+        header = (
+            f"Calibration scorecard: "
+            f"{sum(a.passed for a in self.anchors)}/{len(self.anchors)} anchors in band"
+        )
+        return "\n".join([header] + ["  " + a.render() for a in self.anchors])
+
+
+def validate_trace(
+    store: TraceStore,
+    *,
+    with_utilization_anchors: bool = True,
+) -> CalibrationScorecard:
+    """Measure every calibration anchor on a merged private+public trace.
+
+    ``with_utilization_anchors=False`` skips the anchors that need
+    telemetry (useful for traces generated with
+    ``synthesize_utilization=False``).
+    """
+    anchors: list[AnchorResult] = []
+
+    def add(name: str, paper: str, measured: float, lower: float, upper: float):
+        anchors.append(
+            AnchorResult(
+                name=name, paper=paper, measured=float(measured),
+                lower=lower, upper=upper,
+            )
+        )
+
+    # --- deployment anchors -------------------------------------------
+    p_size = dep.vms_per_subscription_cdf(store, Cloud.PRIVATE).median
+    q_size = dep.vms_per_subscription_cdf(store, Cloud.PUBLIC).median
+    add(
+        "deployment-size ratio (median VMs/subscription, private/public)",
+        "private >> public (Fig. 1a)",
+        p_size / max(1.0, q_size),
+        5.0, 1000.0,
+    )
+
+    p_cluster = dep.subscriptions_per_cluster(store, Cloud.PRIVATE).median
+    q_cluster = dep.subscriptions_per_cluster(store, Cloud.PUBLIC).median
+    add(
+        "subscriptions-per-cluster ratio (public/private, median)",
+        "~20x (Fig. 1b)",
+        q_cluster / max(1.0, p_cluster),
+        8.0, 60.0,
+    )
+
+    add(
+        "private shortest-bin lifetime fraction",
+        "49% (Fig. 3a)",
+        dep.lifetime_cdf(store, Cloud.PRIVATE).evaluate(SHORTEST_BIN_SECONDS),
+        0.35, 0.62,
+    )
+    add(
+        "public shortest-bin lifetime fraction",
+        "81% (Fig. 3a)",
+        dep.lifetime_cdf(store, Cloud.PUBLIC).evaluate(SHORTEST_BIN_SECONDS),
+        0.68, 0.92,
+    )
+
+    p_cv = dep.creation_cv_boxplot(store, Cloud.PRIVATE).median
+    q_cv = dep.creation_cv_boxplot(store, Cloud.PUBLIC).median
+    add(
+        "creation-CV ratio (private/public, median over regions)",
+        "private larger (Fig. 3d)",
+        p_cv / max(1e-9, q_cv),
+        1.3, 50.0,
+    )
+
+    add(
+        "private single-region core share",
+        "40% (Fig. 4b)",
+        dep.regions_per_subscription_core_weighted(store, Cloud.PRIVATE).evaluate(1.0),
+        # Wide band: with few private subscriptions and log-normal pools,
+        # this share is the noisiest anchor; the directional claim (well
+        # below the public share) is what matters.
+        0.15, 0.58,
+    )
+    add(
+        "public single-region core share",
+        "70% (Fig. 4b)",
+        dep.regions_per_subscription_core_weighted(store, Cloud.PUBLIC).evaluate(1.0),
+        0.55, 0.85,
+    )
+
+    n_private = len(store.vms(cloud=Cloud.PRIVATE))
+    n_public = len(store.vms(cloud=Cloud.PUBLIC))
+    add(
+        "VM population ratio (private/public)",
+        "similar populations (Section II)",
+        n_private / max(1, n_public),
+        0.3, 3.0,
+    )
+
+    # --- utilization anchors ------------------------------------------
+    if with_utilization_anchors and store.vm_ids_with_utilization():
+        add(
+            "private node-level correlation median",
+            "0.55 (Fig. 7a)",
+            corr.node_level_correlation(store, Cloud.PRIVATE).median,
+            0.45, 0.95,
+        )
+        add(
+            "public node-level correlation median",
+            "0.02 (Fig. 7a)",
+            corr.node_level_correlation(store, Cloud.PUBLIC).median,
+            -0.2, 0.35,
+        )
+        try:
+            gap = (
+                corr.region_level_correlation(store, Cloud.PRIVATE).median
+                - corr.region_level_correlation(store, Cloud.PUBLIC).median
+            )
+            add(
+                "cross-region correlation gap (private - public, median)",
+                "private much higher (Fig. 7b)",
+                gap,
+                0.4, 1.5,
+            )
+        except ValueError:
+            pass
+        reports = corr.region_agnostic_subscriptions(store, Cloud.PRIVATE)
+        if reports:
+            add(
+                "region-agnostic share of multi-region private subscriptions",
+                "large portion (Insight 4)",
+                float(np.mean([r.region_agnostic for r in reports])),
+                0.5, 1.0,
+            )
+    return CalibrationScorecard(anchors=tuple(anchors))
+
+
+def validate_generator(
+    *,
+    seed: int = 7,
+    scale: float = 0.3,
+    holiday_week: bool = False,
+) -> CalibrationScorecard:
+    """Generate a trace pair and validate it in one call."""
+    from repro.workloads.generator import GeneratorConfig, generate_trace_pair
+
+    store = generate_trace_pair(
+        GeneratorConfig(seed=seed, scale=scale, holiday_week=holiday_week)
+    )
+    return validate_trace(store)

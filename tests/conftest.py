@@ -1,0 +1,26 @@
+"""Shared fixtures: traces are expensive, so they are session-scoped."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import GeneratorConfig, generate_trace_pair
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A small merged private+public trace for functional tests."""
+    return generate_trace_pair(GeneratorConfig(seed=7, scale=0.12))
+
+
+@pytest.fixture(scope="session")
+def medium_trace():
+    """A larger trace for statistical/calibration assertions."""
+    return generate_trace_pair(GeneratorConfig(seed=7, scale=0.3))
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)

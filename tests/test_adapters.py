@@ -1,0 +1,109 @@
+"""Tests for the AzurePublicDataset adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import deployment as dep
+from repro.telemetry.adapters import (
+    AZURE_PUBLIC_DURATION,
+    load_azure_public_readings,
+    load_azure_public_vm_table,
+)
+from repro.telemetry.schema import Cloud
+
+
+@pytest.fixture()
+def vmtable(tmp_path):
+    """A small synthetic vmtable.csv in the public dataset's layout."""
+    rows = [
+        # vmid, subid, depid, created, deleted, maxcpu, avgcpu, p95, cat, cores, mem
+        "vmA,sub1,dep1,0,3600,90,12,70,Interactive,4,16",
+        "vmB,sub1,dep1,100,,80,8,60,Interactive,4,16",          # censored
+        "vmC,sub2,dep2,7200,10800,50,30,45,Delay-insensitive,2,8",
+        "vmD,sub2,dep3,0,2592000,20,5,15,Unknown,8,32",          # ends at window edge
+        "vmE,sub3,dep4,500,1500,99,60,95,Delay-insensitive,1,2",
+    ]
+    path = tmp_path / "vmtable.csv"
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+def test_load_basic(vmtable):
+    store = load_azure_public_vm_table(vmtable)
+    assert len(store) == 5
+    assert len(store.subscriptions) == 3
+    assert store.metadata.duration == AZURE_PUBLIC_DURATION
+
+
+def test_censoring(vmtable):
+    store = load_azure_public_vm_table(vmtable)
+    vms = {vm.service: vm for vm in store.vms()}
+    censored = [vm for vm in store.vms() if not vm.completed]
+    # vmB (empty deleted) and vmD (deleted at exactly the window edge).
+    assert len(censored) == 2
+
+
+def test_ids_are_dense_and_stable(vmtable):
+    a = load_azure_public_vm_table(vmtable)
+    b = load_azure_public_vm_table(vmtable)
+    assert sorted(vm.vm_id for vm in a.vms()) == [0, 1, 2, 3, 4]
+    assert {vm.vm_id for vm in a.vms()} == {vm.vm_id for vm in b.vms()}
+
+
+def test_deployment_analyses_run_on_adapter_output(vmtable):
+    store = load_azure_public_vm_table(vmtable)
+    cdf = dep.lifetime_cdf(store, Cloud.PUBLIC)
+    assert cdf.n_samples == 3  # three completed VMs (two share a lifetime)
+    sizes = dep.vm_size_heatmap(store, Cloud.PUBLIC)
+    assert sizes.total_mass == pytest.approx(1.0)
+
+
+def test_max_rows(vmtable):
+    store = load_azure_public_vm_table(vmtable, max_rows=2)
+    assert len(store) == 2
+
+
+def test_malformed_row_raises(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("only,three,columns\n")
+    with pytest.raises(ValueError):
+        load_azure_public_vm_table(path)
+
+
+def test_header_skipping(tmp_path, vmtable):
+    with_header = tmp_path / "with_header.csv"
+    with_header.write_text(
+        "vmid,subscriptionid,deploymentid,vmcreated,vmdeleted,maxcpu,avgcpu,"
+        "p95maxcpu,vmcategory,vmcorecount,vmmemory\n" + vmtable.read_text()
+    )
+    store = load_azure_public_vm_table(with_header, has_header=True)
+    assert len(store) == 5
+
+
+def test_readings_attach(tmp_path, vmtable):
+    store = load_azure_public_vm_table(vmtable)
+    readings = tmp_path / "readings.csv"
+    # timestamp, vmid, mincpu, maxcpu, avgcpu  (vm ids as dense ints)
+    rows = [
+        "0,0,1,90,50",
+        "300,0,1,90,25",
+        "0,2,0,50,10",
+        "999999999,0,0,0,99",   # out of window: ignored
+    ]
+    readings.write_text("\n".join(rows) + "\n")
+    n = load_azure_public_readings(store, readings)
+    assert n == 2
+    series = store.utilization(0)
+    assert series[0] == pytest.approx(0.5)
+    assert series[1] == pytest.approx(0.25)
+    assert series[2] == 0.0
+
+
+def test_readings_clip_to_unit_interval(tmp_path, vmtable):
+    store = load_azure_public_vm_table(vmtable)
+    readings = tmp_path / "readings.csv"
+    readings.write_text("0,0,0,100,250\n")  # 250% clipped to 1.0
+    load_azure_public_readings(store, readings)
+    assert store.utilization(0)[0] == 1.0

@@ -1,0 +1,116 @@
+"""Unit and property tests for the empirical CDF."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.cdf import EmpiricalCdf
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+sample_arrays = hnp.arrays(
+    dtype=np.float64, shape=st.integers(1, 200), elements=finite_floats
+)
+
+
+def test_simple_cdf_values():
+    cdf = EmpiricalCdf.from_samples(np.array([1.0, 2.0, 2.0, 4.0]))
+    assert cdf.evaluate(0.5) == 0.0
+    assert cdf.evaluate(1.0) == pytest.approx(0.25)
+    assert cdf.evaluate(2.0) == pytest.approx(0.75)
+    assert cdf.evaluate(3.0) == pytest.approx(0.75)
+    assert cdf.evaluate(4.0) == pytest.approx(1.0)
+    assert cdf.evaluate(100.0) == pytest.approx(1.0)
+
+
+def test_quantiles():
+    cdf = EmpiricalCdf.from_samples(np.arange(1, 101, dtype=float))
+    assert cdf.quantile(0.0) == 1.0
+    assert cdf.quantile(0.5) == 50.0
+    assert cdf.quantile(1.0) == 100.0
+    assert cdf.median == 50.0
+
+
+def test_quantile_out_of_range_raises():
+    cdf = EmpiricalCdf.from_samples(np.array([1.0]))
+    with pytest.raises(ValueError):
+        cdf.quantile(1.5)
+    with pytest.raises(ValueError):
+        cdf.quantile(-0.1)
+
+
+def test_empty_samples_raise():
+    with pytest.raises(ValueError):
+        EmpiricalCdf.from_samples(np.array([]))
+
+
+def test_weighted_cdf():
+    # Value 1 carries 90% of the weight.
+    cdf = EmpiricalCdf.from_samples(
+        np.array([1.0, 10.0]), weights=np.array([9.0, 1.0])
+    )
+    assert cdf.evaluate(1.0) == pytest.approx(0.9)
+    assert cdf.evaluate(10.0) == pytest.approx(1.0)
+
+
+def test_weight_validation():
+    with pytest.raises(ValueError):
+        EmpiricalCdf.from_samples(np.array([1.0, 2.0]), weights=np.array([1.0]))
+    with pytest.raises(ValueError):
+        EmpiricalCdf.from_samples(np.array([1.0]), weights=np.array([-1.0]))
+    with pytest.raises(ValueError):
+        EmpiricalCdf.from_samples(np.array([1.0]), weights=np.array([0.0]))
+
+
+def test_vectorized_evaluate_matches_scalar():
+    cdf = EmpiricalCdf.from_samples(np.array([3.0, 1.0, 2.0]))
+    xs = np.array([0.0, 1.5, 2.0, 9.0])
+    vec = cdf.evaluate(xs)
+    assert list(vec) == [cdf.evaluate(float(x)) for x in xs]
+
+
+def test_points_are_copies():
+    cdf = EmpiricalCdf.from_samples(np.array([1.0, 2.0]))
+    xs, ps = cdf.points()
+    xs[0] = 99.0
+    assert cdf.values[0] == 1.0
+    assert ps.shape == xs.shape
+
+
+@given(sample_arrays)
+@settings(max_examples=60)
+def test_cdf_is_monotone_and_bounded(samples):
+    cdf = EmpiricalCdf.from_samples(samples)
+    assert np.all(np.diff(cdf.probabilities) >= -1e-12)
+    assert cdf.probabilities[-1] == pytest.approx(1.0)
+    assert np.all(cdf.probabilities > 0)
+    assert cdf.n_samples == samples.size
+
+
+@given(sample_arrays)
+@settings(max_examples=60)
+def test_cdf_values_sorted_unique(samples):
+    cdf = EmpiricalCdf.from_samples(samples)
+    assert np.all(np.diff(cdf.values) > 0)
+    assert set(np.unique(samples)) == set(cdf.values)
+
+
+@given(sample_arrays, st.floats(min_value=0, max_value=1))
+@settings(max_examples=60)
+def test_quantile_inverts_evaluate(samples, q):
+    cdf = EmpiricalCdf.from_samples(samples)
+    value = cdf.quantile(q)
+    # Galois connection: P(X <= quantile(q)) >= q.
+    assert cdf.evaluate(value) >= q - 1e-12
+
+
+@given(sample_arrays)
+@settings(max_examples=40)
+def test_median_between_min_max(samples):
+    cdf = EmpiricalCdf.from_samples(samples)
+    assert samples.min() <= cdf.median <= samples.max()

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_case_study_command(capsys):
+    code = main(["case-study", "--seed", "11"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Canada" in out
+    assert "PASS" in out
+
+
+def test_generate_and_study_round_trip(tmp_path, capsys):
+    trace_dir = tmp_path / "trace"
+    code = main(
+        ["generate", "--seed", "3", "--scale", "0.05", "--out", str(trace_dir)]
+    )
+    assert code == 0
+    assert (trace_dir / "vms.jsonl").exists()
+
+    # Reuse the saved trace for the knowledge-base command.
+    kb_path = tmp_path / "kb.json"
+    code = main(["kb", "--trace", str(trace_dir), "--out", str(kb_path)])
+    assert code == 0
+    payload = json.loads(kb_path.read_text())
+    assert payload
+    out = capsys.readouterr().out
+    assert "private" in out
+
+
+def test_kb_sample_flag(tmp_path, capsys):
+    code = main(["kb", "--seed", "3", "--scale", "0.05", "--sample", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "policy recommendations" in out
+
+
+def test_optimize_command(capsys):
+    code = main(["optimize", "--seed", "3", "--scale", "0.08"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Workload-aware optimization report" in out
+
+
+def test_validate_command(capsys):
+    code = main(["validate", "--seed", "7", "--scale", "0.15"])
+    out = capsys.readouterr().out
+    assert "Calibration scorecard" in out
+    assert code == 0, out

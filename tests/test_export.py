@@ -1,0 +1,95 @@
+"""Tests for the figure-data CSV exporter."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import build_heatmap
+from repro.analysis.stats import BoxplotStats
+from repro.analysis.timeseries import percentile_bands
+from repro.experiments.base import ExperimentResult
+from repro.experiments.export import export_result, export_results
+
+
+def read_csv(path):
+    with path.open() as fh:
+        return list(csv.reader(fh))
+
+
+@pytest.fixture()
+def result():
+    r = ExperimentResult("demo", "demo experiment")
+    r.check("a-check", True, "paper-val", "measured-val")
+    r.series["cdf"] = (np.array([1.0, 2.0]), np.array([0.5, 1.0]))
+    r.series["counts"] = np.array([3.0, 1.0, 4.0])
+    r.series["box"] = BoxplotStats.from_samples(np.arange(10.0))
+    r.series["heat"] = build_heatmap(
+        np.array([1.0, 2.0]), np.array([1.0, 2.0]), bins=2
+    )
+    r.series["bands"] = percentile_bands(np.random.default_rng(0).random((5, 4)))
+    r.series["by_region"] = {"a": np.zeros(3), "b": np.ones(3)}
+    r.series["mix"] = {"diurnal": 0.5, "stable": 0.5}
+    r.series["unsupported"] = object()
+    return r
+
+
+def test_export_result_writes_files(result, tmp_path):
+    paths = export_result(result, tmp_path)
+    names = {p.name for p in paths}
+    assert {"cdf.csv", "counts.csv", "box.csv", "heat.csv",
+            "bands.csv", "by_region.csv", "mix.csv", "checks.csv"} <= names
+    # Unsupported objects are skipped silently.
+    assert "unsupported.csv" not in names
+
+
+def test_cdf_csv_content(result, tmp_path):
+    export_result(result, tmp_path)
+    rows = read_csv(tmp_path / "demo" / "cdf.csv")
+    assert rows[0] == ["value", "probability"]
+    assert rows[1] == ["1.0", "0.5"]
+
+
+def test_checks_csv_content(result, tmp_path):
+    export_result(result, tmp_path)
+    rows = read_csv(tmp_path / "demo" / "checks.csv")
+    assert rows[1][0] == "a-check"
+    assert rows[1][1] == "True"
+
+
+def test_bands_header(result, tmp_path):
+    export_result(result, tmp_path)
+    rows = read_csv(tmp_path / "demo" / "bands.csv")
+    assert rows[0] == ["index", "p25", "p50", "p75", "p95"]
+    assert len(rows) == 5  # header + 4 time steps
+
+
+def test_region_columns(result, tmp_path):
+    export_result(result, tmp_path)
+    rows = read_csv(tmp_path / "demo" / "by_region.csv")
+    assert rows[0] == ["index", "a", "b"]
+    assert rows[1][1:] == ["0.0", "1.0"]
+
+
+def test_heatmap_mass(result, tmp_path):
+    export_result(result, tmp_path)
+    rows = read_csv(tmp_path / "demo" / "heat.csv")
+    densities = [float(r[4]) for r in rows[1:]]
+    assert sum(densities) == pytest.approx(1.0)
+
+
+def test_export_results_multiple(result, tmp_path):
+    other = ExperimentResult("other", "t")
+    other.series["x"] = np.array([1.0])
+    written = export_results([result, other], tmp_path)
+    assert set(written) == {"demo", "other"}
+    assert (tmp_path / "other" / "x.csv").exists()
+
+
+def test_real_experiment_exports(small_trace, tmp_path):
+    from repro.experiments import fig1
+
+    paths = export_result(fig1.run_fig1a(small_trace), tmp_path)
+    assert any(p.name == "private_cdf.csv" for p in paths)

@@ -1,0 +1,65 @@
+"""Tests for spot-enabled trace generation (SpotConfig in profiles)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.telemetry.schema import Cloud, EventKind
+from repro.workloads.generator import GeneratorConfig, TraceGenerator
+from repro.workloads.profiles import SpotConfig, public_profile
+
+
+def tight_public_profile(**spot_kwargs):
+    return replace(
+        public_profile(),
+        spot=SpotConfig(**spot_kwargs),
+        clusters_per_region=1,
+        racks_per_cluster=2,
+        nodes_per_rack=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def spot_trace():
+    profile = tight_public_profile(churn_fraction=0.6, pressure_threshold=0.35)
+    config = GeneratorConfig(seed=4, scale=0.2, synthesize_utilization=False)
+    return TraceGenerator(profile, config).generate()
+
+
+def test_spot_reclaim_events_appear(spot_trace):
+    evictions = spot_trace.events(kind=EventKind.EVICT)
+    assert evictions
+    assert all(e.detail == "spot reclaim" for e in evictions)
+    assert all(e.cloud is Cloud.PUBLIC for e in evictions)
+
+
+def test_evicted_vms_are_finalized(spot_trace):
+    for event in spot_trace.events(kind=EventKind.EVICT)[:50]:
+        vm = spot_trace.vm(event.vm_id)
+        assert vm.ended_at == pytest.approx(event.time)
+
+
+def test_no_double_termination(spot_trace):
+    """An evicted VM must not also have a TERMINATE event."""
+    evicted = {e.vm_id for e in spot_trace.events(kind=EventKind.EVICT)}
+    terminated = {e.vm_id for e in spot_trace.events(kind=EventKind.TERMINATE)}
+    assert not (evicted & terminated)
+
+
+def test_default_profile_has_no_spot():
+    assert public_profile().spot is None
+
+
+def test_high_threshold_fewer_evictions():
+    config = GeneratorConfig(seed=4, scale=0.15, synthesize_utilization=False)
+    aggressive = TraceGenerator(
+        tight_public_profile(churn_fraction=0.6, pressure_threshold=0.3), config
+    ).generate()
+    relaxed = TraceGenerator(
+        tight_public_profile(churn_fraction=0.6, pressure_threshold=0.95), config
+    ).generate()
+    n_aggressive = len(aggressive.events(kind=EventKind.EVICT))
+    n_relaxed = len(relaxed.events(kind=EventKind.EVICT))
+    assert n_aggressive > n_relaxed

@@ -1,0 +1,150 @@
+"""Round-trip tests for trace serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telemetry.io import load_trace, save_trace
+from repro.telemetry.schema import (
+    Cloud,
+    ClusterInfo,
+    EventKind,
+    EventRecord,
+    NodeInfo,
+    RegionInfo,
+    SubscriptionInfo,
+)
+from repro.telemetry.store import TraceStore
+from tests.test_store import make_vm
+
+
+@pytest.fixture()
+def populated_store():
+    store = TraceStore()
+    store.add_region(RegionInfo(name="us-east", tz_offset_hours=-5, country="US"))
+    store.add_cluster(
+        ClusterInfo(cluster_id=1, region="us-east", cloud=Cloud.PRIVATE,
+                    n_nodes=2, node_capacity_cores=96, node_capacity_memory_gb=768)
+    )
+    store.add_node(
+        NodeInfo(node_id=3, cluster_id=1, rack_id=2, region="us-east",
+                 cloud=Cloud.PRIVATE, capacity_cores=96, capacity_memory_gb=768)
+    )
+    store.add_subscription(
+        SubscriptionInfo(subscription_id=10, cloud=Cloud.PRIVATE, service="svc",
+                         party="first", regions=("us-east",))
+    )
+    store.add_vm(make_vm(1, created_at=-50.0))  # censored
+    store.add_vm(make_vm(2, created_at=0.0, ended_at=3600.0, cloud=Cloud.PUBLIC))
+    store.add_event(EventRecord(3600.0, EventKind.TERMINATE, 2, Cloud.PUBLIC, "us-east"))
+    store.add_utilization(
+        1, np.linspace(0, 1, store.metadata.n_samples).astype(np.float32)
+    )
+    return store
+
+
+def test_round_trip(populated_store, tmp_path):
+    save_trace(populated_store, tmp_path / "trace")
+    loaded = load_trace(tmp_path / "trace")
+
+    assert len(loaded) == len(populated_store)
+    vm1 = loaded.vm(1)
+    assert vm1.ended_at == float("inf")
+    assert vm1.created_at == -50.0
+    assert vm1.cloud is Cloud.PRIVATE
+    vm2 = loaded.vm(2)
+    assert vm2.completed
+    assert vm2.cloud is Cloud.PUBLIC
+
+    events = loaded.events()
+    assert len(events) == 1
+    assert events[0].kind is EventKind.TERMINATE
+
+    assert loaded.regions["us-east"].tz_offset_hours == -5
+    assert loaded.clusters[1].n_nodes == 2
+    assert loaded.nodes[3].rack_id == 2
+    assert loaded.subscriptions[10].regions == ("us-east",)
+
+    np.testing.assert_array_almost_equal(
+        loaded.utilization(1), populated_store.utilization(1)
+    )
+    assert loaded.metadata.duration == populated_store.metadata.duration
+
+
+def test_round_trip_preserves_summary(populated_store, tmp_path):
+    save_trace(populated_store, tmp_path / "t")
+    loaded = load_trace(tmp_path / "t")
+    assert loaded.summary() == populated_store.summary()
+
+
+def test_save_creates_directory(populated_store, tmp_path):
+    target = tmp_path / "deep" / "nested" / "dir"
+    save_trace(populated_store, target)
+    assert (target / "vms.jsonl").exists()
+    assert (target / "utilization.npz").exists()
+
+
+def test_empty_store_round_trip(tmp_path):
+    store = TraceStore()
+    save_trace(store, tmp_path / "empty")
+    loaded = load_trace(tmp_path / "empty")
+    assert len(loaded) == 0
+    assert loaded.events() == []
+
+
+def test_generated_trace_round_trip(small_trace, tmp_path):
+    """The real generator output survives a full round trip."""
+    save_trace(small_trace, tmp_path / "gen")
+    loaded = load_trace(tmp_path / "gen")
+    assert len(loaded) == len(small_trace)
+    assert loaded.summary() == small_trace.summary()
+    # Spot-check one VM with telemetry.
+    vm_id = small_trace.vm_ids_with_utilization()[0]
+    np.testing.assert_array_equal(
+        loaded.utilization(vm_id), small_trace.utilization(vm_id)
+    )
+
+
+# ----------------------------------------------------------------------
+# property-based round trips
+# ----------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+finite_time = st.floats(min_value=-1e6, max_value=604800.0, allow_nan=False)
+
+
+@st.composite
+def vm_rows(draw, vm_id):
+    created = draw(finite_time)
+    censored = draw(st.booleans())
+    if censored:
+        ended = float("inf")
+    else:
+        ended = created + draw(st.floats(min_value=1.0, max_value=1e6))
+    return make_vm(
+        vm_id,
+        cloud=draw(st.sampled_from([Cloud.PRIVATE, Cloud.PUBLIC])),
+        region=draw(st.sampled_from(["us-east", "eu-west"])),
+        cores=float(draw(st.sampled_from([1, 2, 4, 8, 64]))),
+        created_at=created,
+        ended_at=ended,
+        pattern=draw(st.sampled_from(["", "diurnal", "stable"])),
+        offering=draw(st.sampled_from(["iaas", "paas", "saas"])),
+    )
+
+
+@given(st.data(), st.integers(1, 12))
+@settings(max_examples=25, deadline=None)
+def test_property_round_trip_vm_rows(tmp_path_factory, data, n_vms):
+    store = TraceStore()
+    for vm_id in range(n_vms):
+        store.add_vm(data.draw(vm_rows(vm_id)))
+    directory = tmp_path_factory.mktemp("prop_trace")
+    save_trace(store, directory)
+    loaded = load_trace(directory)
+    assert len(loaded) == len(store)
+    for vm in store.vms():
+        other = loaded.vm(vm.vm_id)
+        assert other == vm

@@ -1,0 +1,62 @@
+"""Unit tests for normalization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.normalize import (
+    normalize_by_reference,
+    normalize_to_max,
+    normalize_to_mean,
+    private_cloud_unit,
+)
+
+
+def test_normalize_by_reference():
+    out = normalize_by_reference(np.array([2.0, 4.0]), 2.0)
+    assert list(out) == [1.0, 2.0]
+
+
+def test_normalize_by_reference_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        normalize_by_reference(np.ones(2), 0.0)
+
+
+def test_normalize_to_max():
+    out = normalize_to_max(np.array([1.0, 5.0, 2.5]))
+    assert out.max() == pytest.approx(1.0)
+    assert out[0] == pytest.approx(0.2)
+
+
+def test_normalize_to_max_all_zero():
+    out = normalize_to_max(np.zeros(3))
+    assert np.all(out == 0)
+
+
+def test_normalize_to_mean():
+    out = normalize_to_mean(np.array([1.0, 3.0]))
+    assert out.mean() == pytest.approx(1.0)
+
+
+def test_normalize_to_mean_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        normalize_to_mean(np.array([-1.0, 1.0]))
+
+
+@pytest.mark.parametrize(
+    "statistic,expected",
+    [("median", 2.0), ("mean", 2.0), ("max", 3.0)],
+)
+def test_private_cloud_unit(statistic, expected):
+    assert private_cloud_unit(np.array([1.0, 2.0, 3.0]), statistic) == expected
+
+
+def test_private_cloud_unit_unknown_statistic():
+    with pytest.raises(ValueError):
+        private_cloud_unit(np.ones(3), "mode")
+
+
+def test_private_cloud_unit_empty():
+    with pytest.raises(ValueError):
+        private_cloud_unit(np.array([]))

@@ -1,0 +1,107 @@
+"""Unit/integration tests for chance-constrained over-subscription."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.management.oversubscription import (
+    ChanceConstrainedOversubscriber,
+    OversubscriptionOutcome,
+    sweep_epsilon,
+)
+from repro.telemetry.schema import Cloud
+from repro.telemetry.store import TraceStore
+from tests.test_store import make_vm
+
+
+@pytest.fixture()
+def flat_store():
+    """VMs with constant 25% utilization of 4 cores each."""
+    store = TraceStore()
+    n = store.metadata.n_samples
+    for vm_id in range(12):
+        store.add_vm(make_vm(vm_id, cores=4.0))
+        store.add_utilization(vm_id, np.full(n, 0.25))
+    return store
+
+
+class TestPacking:
+    def test_baseline_respects_reservation(self, flat_store):
+        packer = ChanceConstrainedOversubscriber(flat_store)
+        outcome = packer.pack_baseline(16.0)
+        assert outcome.n_vms_packed == 4  # 4 x 4 cores = 16
+        assert outcome.reserved_cores == 16.0
+        assert outcome.mean_utilization == pytest.approx(0.25)
+        assert outcome.violation_probability == 0.0
+
+    def test_chance_constrained_packs_more(self, flat_store):
+        packer = ChanceConstrainedOversubscriber(flat_store)
+        outcome = packer.pack_chance_constrained(16.0, epsilon=0.01)
+        # Demand per VM = 1 core -> all 12 fit within 16 cores of capacity.
+        assert outcome.n_vms_packed == 12
+        assert outcome.violation_probability == 0.0
+        assert outcome.mean_utilization == pytest.approx(12 / 16)
+
+    def test_improvement_metric(self, flat_store):
+        packer = ChanceConstrainedOversubscriber(flat_store)
+        baseline = packer.pack_baseline(16.0)
+        packed = packer.pack_chance_constrained(16.0, epsilon=0.01)
+        assert packed.improvement_over(baseline) == pytest.approx(2.0)
+
+    def test_invalid_epsilon(self, flat_store):
+        packer = ChanceConstrainedOversubscriber(flat_store)
+        with pytest.raises(ValueError):
+            packer.pack_chance_constrained(16.0, epsilon=0.0)
+        with pytest.raises(ValueError):
+            packer.pack_chance_constrained(16.0, epsilon=1.0)
+
+    def test_empty_store_raises(self):
+        with pytest.raises(ValueError):
+            ChanceConstrainedOversubscriber(TraceStore())
+
+    def test_max_candidates_subsamples(self, flat_store):
+        packer = ChanceConstrainedOversubscriber(flat_store, max_candidates=5)
+        assert packer.n_candidates == 5
+
+
+class TestChanceConstraint:
+    def test_violation_bounded_on_generated_trace(self, small_trace):
+        packer = ChanceConstrainedOversubscriber(
+            small_trace, cloud=Cloud.PRIVATE, max_candidates=200
+        )
+        for epsilon in (0.2, 0.05, 0.01):
+            outcome = packer.pack_chance_constrained(96.0, epsilon)
+            assert outcome.violation_probability <= epsilon + 1e-9
+
+    def test_looser_epsilon_never_packs_fewer(self, small_trace):
+        packer = ChanceConstrainedOversubscriber(
+            small_trace, cloud=Cloud.PRIVATE, max_candidates=200
+        )
+        tight = packer.pack_chance_constrained(96.0, 0.001)
+        loose = packer.pack_chance_constrained(96.0, 0.3)
+        assert loose.n_vms_packed >= tight.n_vms_packed
+        assert loose.mean_utilization >= tight.mean_utilization
+
+
+class TestSweep:
+    def test_sweep_ordering(self, small_trace):
+        packer = ChanceConstrainedOversubscriber(
+            small_trace, cloud=Cloud.PRIVATE, max_candidates=150
+        )
+        results = sweep_epsilon(packer, 96.0, epsilons=(0.3, 0.05, 0.001))
+        gains = [g for _o, g in results]
+        assert gains == sorted(gains, reverse=True)
+        assert all(g > 0 for g in gains)
+
+    def test_improvement_requires_positive_baseline(self):
+        outcome = OversubscriptionOutcome(
+            policy="x", epsilon=0.1, n_vms_packed=0, reserved_cores=0,
+            capacity_cores=16, mean_utilization=0.5, violation_probability=0,
+        )
+        zero = OversubscriptionOutcome(
+            policy="b", epsilon=0, n_vms_packed=0, reserved_cores=0,
+            capacity_cores=16, mean_utilization=0.0, violation_probability=0,
+        )
+        with pytest.raises(ValueError):
+            outcome.improvement_over(zero)

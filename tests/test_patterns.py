@@ -1,0 +1,134 @@
+"""Unit tests for the four-way pattern classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import ClassifierConfig, PatternClassifier, PatternMix, classify_series
+from repro.telemetry.schema import (
+    Cloud,
+    PATTERN_DIURNAL,
+    PATTERN_HOURLY_PEAK,
+    PATTERN_IRREGULAR,
+    PATTERN_STABLE,
+)
+from repro.timebase import SAMPLES_PER_WEEK, sample_times
+from repro.workloads.utilization_models import (
+    diurnal_signal,
+    hourly_peak_signal,
+    irregular_signal,
+    stable_signal,
+)
+
+
+@pytest.fixture(scope="module")
+def times():
+    return sample_times(SAMPLES_PER_WEEK)
+
+
+@pytest.fixture(scope="module")
+def examples(times):
+    rng = np.random.default_rng(42)
+    return {
+        PATTERN_DIURNAL: np.clip(
+            0.6 * diurnal_signal(times, tz_offset_hours=-8)
+            + rng.normal(0, 0.05, times.size),
+            0,
+            1,
+        ),
+        PATTERN_STABLE: np.clip(
+            stable_signal(times, level=0.22, rng=rng)
+            + rng.normal(0, 0.006, times.size),
+            0,
+            1,
+        ),
+        PATTERN_IRREGULAR: np.clip(
+            irregular_signal(times, rng=rng) + rng.normal(0, 0.01, times.size), 0, 1
+        ),
+        PATTERN_HOURLY_PEAK: np.clip(
+            0.6 * hourly_peak_signal(times, tz_offset_hours=-8)
+            + rng.normal(0, 0.05, times.size),
+            0,
+            1,
+        ),
+    }
+
+
+@pytest.mark.parametrize(
+    "pattern",
+    [PATTERN_DIURNAL, PATTERN_STABLE, PATTERN_IRREGULAR, PATTERN_HOURLY_PEAK],
+)
+def test_targeted_backend_classifies_each_pattern(examples, pattern):
+    assert classify_series(examples[pattern]) == pattern
+
+
+@pytest.mark.parametrize(
+    "pattern", [PATTERN_DIURNAL, PATTERN_STABLE, PATTERN_IRREGULAR]
+)
+def test_autoperiod_backend(examples, pattern):
+    config = ClassifierConfig(method="autoperiod")
+    assert classify_series(examples[pattern], config) == pattern
+
+
+def test_short_series_is_unclassifiable(examples):
+    short = examples[PATTERN_DIURNAL][:100]  # ~8 hours
+    assert classify_series(short) == PATTERN_IRREGULAR
+
+
+def test_stable_threshold_config(examples):
+    strict = ClassifierConfig(stable_std_threshold=1e-6)
+    # With an absurdly strict threshold, stable is no longer detected.
+    assert classify_series(examples[PATTERN_STABLE], strict) != PATTERN_STABLE
+
+
+def test_noise_robustness(times):
+    """Diurnal remains detectable under moderate noise."""
+    rng = np.random.default_rng(0)
+    signal = 0.5 * diurnal_signal(times, tz_offset_hours=0)
+    noisy = np.clip(signal + rng.normal(0, 0.08, times.size), 0, 1)
+    assert classify_series(noisy) == PATTERN_DIURNAL
+
+
+class TestPatternMix:
+    def test_fractions(self):
+        mix = PatternMix(counts={PATTERN_DIURNAL: 3, PATTERN_STABLE: 1})
+        assert mix.total == 4
+        assert mix.fraction(PATTERN_DIURNAL) == 0.75
+        assert mix.fraction(PATTERN_HOURLY_PEAK) == 0.0
+        fractions = mix.as_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_mix(self):
+        mix = PatternMix(counts={})
+        assert mix.total == 0
+        assert mix.fraction(PATTERN_DIURNAL) == 0.0
+
+
+class TestClassifyStore:
+    def test_classifies_long_lived_vms(self, small_trace):
+        classifier = PatternClassifier()
+        labels = classifier.classify_store(
+            small_trace, cloud=Cloud.PRIVATE, max_vms=50
+        )
+        assert 0 < len(labels) <= 50
+        for vm_id in labels:
+            assert small_trace.vm(vm_id).cloud is Cloud.PRIVATE
+
+    def test_subsampling_is_deterministic(self, small_trace):
+        classifier = PatternClassifier()
+        a = classifier.classify_store(small_trace, cloud=Cloud.PUBLIC, max_vms=30, seed=1)
+        b = classifier.classify_store(small_trace, cloud=Cloud.PUBLIC, max_vms=30, seed=1)
+        assert a == b
+
+    def test_accuracy_beats_chance(self, small_trace):
+        classifier = PatternClassifier()
+        accuracy = classifier.accuracy(small_trace, cloud=Cloud.PRIVATE, max_vms=150)
+        assert accuracy > 0.6
+
+    def test_accuracy_empty_raises(self):
+        from repro.telemetry.store import TraceStore
+
+        classifier = PatternClassifier()
+        with pytest.raises(ValueError):
+            classifier.accuracy(TraceStore())

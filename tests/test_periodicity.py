@@ -1,0 +1,95 @@
+"""Unit tests for the AUTOPERIOD-style period detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.periodicity import (
+    autocorrelation,
+    detect_periods,
+    has_period,
+    periodogram_candidates,
+)
+
+
+def sine(period: int, n: int = 2016, amplitude: float = 1.0) -> np.ndarray:
+    t = np.arange(n)
+    return amplitude * np.sin(2 * np.pi * t / period)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        acf = autocorrelation(np.random.default_rng(0).normal(size=500))
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_periodic_signal_has_acf_peak(self):
+        acf = autocorrelation(sine(50), max_lag=120)
+        assert acf[50] > 0.8
+        assert acf[25] < 0.0  # anti-phase
+
+    def test_constant_signal(self):
+        acf = autocorrelation(np.ones(100))
+        assert np.all(acf == 0)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.array([1.0]))
+
+    def test_white_noise_decorrelates(self, rng):
+        acf = autocorrelation(rng.normal(size=2000), max_lag=50)
+        assert np.all(np.abs(acf[1:]) < 0.15)
+
+
+class TestPeriodogramCandidates:
+    def test_finds_dominant_period(self, rng):
+        x = sine(48) + 0.1 * rng.normal(size=2016)
+        candidates = periodogram_candidates(x, rng=rng)
+        periods = [p for p, _power in candidates]
+        assert any(abs(p - 48) < 3 for p in periods)
+
+    def test_white_noise_has_few_candidates(self, rng):
+        candidates = periodogram_candidates(rng.normal(size=2016), rng=rng)
+        assert len(candidates) <= 3
+
+    def test_constant_series_no_candidates(self, rng):
+        assert periodogram_candidates(np.ones(256), rng=rng) == []
+
+    def test_too_short_series(self, rng):
+        assert periodogram_candidates(np.ones(4), rng=rng) == []
+
+
+class TestDetectPeriods:
+    def test_single_period_detected_and_refined(self, rng):
+        x = sine(96) + 0.05 * rng.normal(size=2016)
+        periods = detect_periods(x, rng=rng)
+        assert periods
+        assert abs(periods[0].period_samples - 96) <= 5
+        assert periods[0].acf_value > 0.5
+
+    def test_two_periods_detected(self, rng):
+        x = sine(288) + 0.7 * sine(12) + 0.05 * rng.normal(size=2016)
+        periods = detect_periods(x, rng=rng, max_candidates=16)
+        found = {round(p.period_samples) for p in periods}
+        assert any(abs(p - 288) <= 10 for p in found)
+        assert any(abs(p - 12) <= 2 for p in found)
+
+    def test_noise_yields_nothing(self, rng):
+        assert detect_periods(rng.normal(size=1024), rng=rng) == []
+
+    def test_sorted_by_power(self, rng):
+        x = sine(288, amplitude=1.0) + sine(12, amplitude=0.3) + 0.02 * rng.normal(size=2016)
+        periods = detect_periods(x, rng=rng, max_candidates=16)
+        if len(periods) >= 2:
+            assert periods[0].power >= periods[1].power
+
+
+class TestHasPeriod:
+    def test_match_within_tolerance(self, rng):
+        x = sine(288) + 0.05 * rng.normal(size=2016)
+        assert has_period(x, 288, rng=rng)
+        assert has_period(x, 300, tolerance=0.1, rng=rng)
+        assert not has_period(x, 12, rng=rng)
+
+    def test_no_period_in_noise(self, rng):
+        assert not has_period(rng.normal(size=1024), 24, rng=rng)

@@ -1,0 +1,54 @@
+"""Tests for the markdown study reporter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reporting import study_report_markdown, write_study_report
+from repro.core.study import run_study
+
+
+@pytest.fixture(scope="module")
+def study(medium_trace):
+    return run_study(medium_trace, max_pattern_vms=250)
+
+
+def test_markdown_structure(study):
+    text = study_report_markdown(study)
+    assert text.startswith("# Cloud workload characterization")
+    assert "## Headline metrics" in text
+    assert "| Metric | Private | Public |" in text
+    assert "## The paper's insights, re-evaluated" in text
+    assert "## Utilization pattern mix" in text
+
+
+def test_all_insights_marked_passing(study):
+    text = study_report_markdown(study)
+    # All four insights hold on the calibrated trace.
+    assert text.count("✅") == 4
+    assert "❌" not in text
+
+
+def test_sparklines_with_store(study, medium_trace):
+    text = study_report_markdown(study, store=medium_trace)
+    assert "## Temporal shapes" in text
+    assert "VM count" in text
+
+
+def test_no_sparklines_without_store(study):
+    assert "## Temporal shapes" not in study_report_markdown(study)
+
+
+def test_write_to_file(study, tmp_path):
+    out = write_study_report(study, tmp_path / "report.md")
+    assert out.exists()
+    assert "Headline metrics" in out.read_text()
+
+
+def test_study_cli_markdown_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "study.md"
+    code = main(["study", "--seed", "3", "--scale", "0.12", "--markdown", str(out)])
+    assert out.exists()
+    assert "markdown report written" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""Unit tests for the SKU catalogs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.sku import (
+    SkuCatalog,
+    VMSku,
+    private_sku_catalog,
+    public_sku_catalog,
+)
+
+
+def test_sku_fits_on():
+    sku = VMSku("D4", 4, 16)
+    assert sku.fits_on(4, 16)
+    assert not sku.fits_on(3.9, 16)
+    assert not sku.fits_on(4, 15.9)
+
+
+def test_catalog_validation():
+    with pytest.raises(ValueError):
+        SkuCatalog(skus=(VMSku("a", 1, 1),), weights=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        SkuCatalog(skus=(), weights=())
+    with pytest.raises(ValueError):
+        SkuCatalog(skus=(VMSku("a", 1, 1),), weights=(-1.0,))
+    with pytest.raises(ValueError):
+        SkuCatalog(skus=(VMSku("a", 1, 1),), weights=(0.0,))
+
+
+def test_sample_single_and_batch(rng):
+    catalog = private_sku_catalog()
+    sku = catalog.sample(rng)
+    assert isinstance(sku, VMSku)
+    batch = catalog.sample(rng, size=10)
+    assert len(batch) == 10
+
+
+def test_sample_respects_weights(rng):
+    heavy = VMSku("heavy", 8, 32)
+    light = VMSku("light", 1, 2)
+    catalog = SkuCatalog(skus=(heavy, light), weights=(0.99, 0.01))
+    draws = catalog.sample(rng, size=500)
+    heavy_count = sum(1 for s in draws if s.name == "heavy")
+    assert heavy_count > 400
+
+
+def test_by_name():
+    catalog = public_sku_catalog()
+    assert catalog.by_name("D4").cores == 4
+    with pytest.raises(KeyError):
+        catalog.by_name("nope")
+
+
+def test_public_catalog_has_size_extremes():
+    """Fig. 2: public cloud demands both tiny and huge VMs."""
+    private_cores = {sku.cores for sku in private_sku_catalog().skus}
+    public_cores = {sku.cores for sku in public_sku_catalog().skus}
+    assert min(public_cores) < min(private_cores)
+    assert max(public_cores) > max(private_cores)
+
+
+def test_all_skus_fit_default_node():
+    from repro.cloud.sku import DEFAULT_NODE_SKU
+
+    for sku in public_sku_catalog().skus + private_sku_catalog().skus:
+        assert sku.fits_on(DEFAULT_NODE_SKU.cores, DEFAULT_NODE_SKU.memory_gb), sku

@@ -1,0 +1,183 @@
+"""Integration tests for the in-simulator spot market."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.entities import RegionSpec, TopologySpec, build_topology
+from repro.cloud.platform import CloudPlatform, VMRequest
+from repro.cloud.simulation import Simulator
+from repro.cloud.sku import NodeSku, VMSku
+from repro.cloud.spot_market import SpotMarket
+from repro.telemetry.schema import Cloud, EventKind
+from repro.telemetry.store import TraceStore
+from repro.timebase import SECONDS_PER_HOUR
+
+
+def make_platform(nodes=4, cores=16) -> CloudPlatform:
+    spec = TopologySpec(
+        cloud=Cloud.PUBLIC,
+        regions=(RegionSpec("a", 0),),
+        clusters_per_region=1,
+        racks_per_cluster=1,
+        nodes_per_rack=nodes,
+        node_sku=NodeSku("t", cores, cores * 4),
+    )
+    return CloudPlatform(build_topology(spec), TraceStore(), rng=np.random.default_rng(0))
+
+
+def spawn(platform, n, cores=4, sub=1):
+    ids = []
+    for _ in range(n):
+        vm_id = platform.create_vm(
+            VMRequest(
+                subscription_id=sub, deployment_id=sub, service="s",
+                region="a", sku=VMSku("x", cores, cores * 4),
+            ),
+            0.0,
+        )
+        assert vm_id is not None
+        ids.append(vm_id)
+    return ids
+
+
+class TestSpotMarket:
+    def test_registration(self):
+        platform = make_platform()
+        market = SpotMarket(platform)
+        ids = spawn(platform, 2)
+        market.register(ids[0])
+        assert market.is_spot(ids[0])
+        assert not market.is_spot(ids[1])
+        market.deregister(ids[0])
+        assert market.active_spot_count == 0
+
+    def test_no_eviction_below_threshold(self):
+        platform = make_platform(nodes=8)  # 128 cores capacity
+        market = SpotMarket(platform, pressure_threshold=0.85)
+        for vm_id in spawn(platform, 4):  # 16/128 cores
+            market.register(vm_id)
+        market.evaluate(0.0)
+        assert market.evictions == 0
+        assert market.active_spot_count == 4
+
+    def test_eviction_when_hot(self):
+        platform = make_platform(nodes=4, cores=16)  # 64 cores
+        market = SpotMarket(platform, pressure_threshold=0.5)
+        spot_ids = spawn(platform, 6, cores=4)  # 24 cores spot
+        spawn(platform, 8, cores=4, sub=2)      # 32 cores on-demand -> 87.5%
+        for vm_id in spot_ids:
+            market.register(vm_id)
+        market.evaluate(3600.0)
+        assert market.evictions > 0
+        evict_events = platform.store.events(kind=EventKind.EVICT)
+        assert evict_events and all(e.detail == "spot reclaim" for e in evict_events)
+        # Pressure restored to (at most slightly above) the threshold.
+        assert market.region_pressure("a") <= 0.5 + 4 / 64 + 1e-9
+
+    def test_largest_first_reclaim(self):
+        platform = make_platform(nodes=4, cores=16)
+        market = SpotMarket(platform, pressure_threshold=0.5)
+        small = spawn(platform, 4, cores=2)          # 8 cores
+        big = spawn(platform, 3, cores=8, sub=3)     # 24 cores -> total 50%
+        spawn(platform, 2, cores=4, sub=2)           # +8 -> 62.5%
+        for vm_id in small + big:
+            market.register(vm_id)
+        market.evaluate(0.0)
+        evicted = {e.vm_id for e in platform.store.events(kind=EventKind.EVICT)}
+        assert evicted <= set(big)  # biggest spot VMs go first
+
+    def test_observations_logged(self):
+        platform = make_platform(nodes=8)
+        market = SpotMarket(platform)
+        for vm_id in spawn(platform, 3):
+            market.register(vm_id)
+        market.evaluate(7 * SECONDS_PER_HOUR)
+        assert len(market.observations) == 3
+        obs = market.observations[0]
+        assert obs.hour_of_day == pytest.approx(7.0)
+        assert 0 <= obs.pressure <= 1
+        pressures, cores, hours, evicted = market.training_arrays()
+        assert pressures.shape == cores.shape == hours.shape == evicted.shape
+
+    def test_training_arrays_empty_raises(self):
+        market = SpotMarket(make_platform())
+        with pytest.raises(ValueError):
+            market.training_arrays()
+
+    def test_self_terminated_members_cleaned_up(self):
+        platform = make_platform(nodes=8)
+        market = SpotMarket(platform)
+        ids = spawn(platform, 2)
+        for vm_id in ids:
+            market.register(vm_id)
+        platform.terminate_vm(ids[0], 100.0)
+        market.evaluate(3600.0)
+        assert market.active_spot_count == 1
+
+    def test_periodic_install(self):
+        platform = make_platform(nodes=8)
+        market = SpotMarket(platform, evaluation_interval=SECONDS_PER_HOUR)
+        for vm_id in spawn(platform, 2):
+            market.register(vm_id)
+        sim = Simulator()
+        market.install(sim, start=0.0, until=5 * SECONDS_PER_HOUR)
+        sim.run()
+        assert len(market.observations) == 10  # 2 VMs x 5 evaluations
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SpotMarket(make_platform(), pressure_threshold=0.0)
+
+
+class TestEndToEndWithPredictor:
+    def test_predictor_learns_from_market_history(self):
+        """Close the loop: simulate -> observe -> train -> sane predictions."""
+        from repro.management.spot import SpotEvictionPredictor
+
+        platform = make_platform(nodes=4, cores=16)  # 64 cores
+        market = SpotMarket(platform, pressure_threshold=0.6)
+        sim = Simulator()
+        rng = np.random.default_rng(5)
+
+        # Churn of spot VMs under oscillating on-demand load.
+        def spawn_spot(now: float) -> None:
+            vm_id = platform.create_vm(
+                VMRequest(
+                    subscription_id=1, deployment_id=1, service="s",
+                    region="a", sku=VMSku("x", 2, 8),
+                ),
+                now,
+            )
+            if vm_id is not None:
+                market.register(vm_id)
+
+        on_demand: list[int] = []
+
+        def pulse_on_demand(now: float) -> None:
+            # Alternate between adding and removing on-demand load.
+            if int(now // (6 * SECONDS_PER_HOUR)) % 2 == 0:
+                vm_id = platform.create_vm(
+                    VMRequest(
+                        subscription_id=2, deployment_id=2, service="od",
+                        region="a", sku=VMSku("y", 8, 32),
+                    ),
+                    now,
+                )
+                if vm_id is not None:
+                    on_demand.append(vm_id)
+            elif on_demand:
+                platform.terminate_vm(on_demand.pop(), now)
+
+        horizon = 72 * SECONDS_PER_HOUR
+        sim.schedule_periodic(0.0, 2 * SECONDS_PER_HOUR, spawn_spot, until=horizon)
+        sim.schedule_periodic(0.0, SECONDS_PER_HOUR, pulse_on_demand, until=horizon)
+        market.install(sim, start=0.0, until=horizon)
+        sim.run(until=horizon)
+
+        assert market.evictions > 0
+        pressures, cores, hours, evicted = market.training_arrays()
+        assert evicted.sum() > 0
+        predictor = SpotEvictionPredictor().fit(pressures, cores, hours, evicted)
+        assert predictor.predict_risk(0.95, 2, 12) > predictor.predict_risk(0.2, 2, 12)

@@ -1,0 +1,216 @@
+"""Unit tests for the trace store and schema."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telemetry.schema import (
+    Cloud,
+    ClusterInfo,
+    EventKind,
+    EventRecord,
+    NodeInfo,
+    RegionInfo,
+    SubscriptionInfo,
+    VMRecord,
+)
+from repro.telemetry.store import TraceMetadata, TraceStore
+
+
+def make_vm(vm_id=1, *, cloud=Cloud.PRIVATE, region="us-east", **overrides) -> VMRecord:
+    defaults = dict(
+        vm_id=vm_id,
+        subscription_id=10,
+        deployment_id=20,
+        service="svc",
+        cloud=cloud,
+        region=region,
+        cluster_id=0,
+        rack_id=0,
+        node_id=0,
+        cores=4.0,
+        memory_gb=16.0,
+        created_at=0.0,
+        ended_at=float("inf"),
+        pattern="stable",
+    )
+    defaults.update(overrides)
+    return VMRecord(**defaults)
+
+
+class TestVMRecord:
+    def test_lifetime(self):
+        vm = make_vm(created_at=100.0, ended_at=400.0)
+        assert vm.lifetime == 300.0
+        assert vm.completed
+
+    def test_censored(self):
+        vm = make_vm()
+        assert not vm.completed
+        assert vm.lifetime == float("inf")
+
+
+class TestTraceStore:
+    def test_add_and_get_vm(self):
+        store = TraceStore()
+        store.add_vm(make_vm(1))
+        assert 1 in store
+        assert len(store) == 1
+        assert store.vm(1).cores == 4.0
+
+    def test_duplicate_vm_rejected(self):
+        store = TraceStore()
+        store.add_vm(make_vm(1))
+        with pytest.raises(ValueError):
+            store.add_vm(make_vm(1))
+
+    def test_finalize_vm(self):
+        store = TraceStore()
+        store.add_vm(make_vm(1, created_at=50.0))
+        store.finalize_vm(1, 500.0)
+        assert store.vm(1).ended_at == 500.0
+        assert store.vm(1).completed
+
+    def test_finalize_before_creation_rejected(self):
+        store = TraceStore()
+        store.add_vm(make_vm(1, created_at=100.0))
+        with pytest.raises(ValueError):
+            store.finalize_vm(1, 50.0)
+
+    def test_reassign_placement(self):
+        store = TraceStore()
+        store.add_vm(make_vm(1))
+        store.reassign_vm_placement(1, node_id=9, rack_id=8, cluster_id=7)
+        vm = store.vm(1)
+        assert (vm.node_id, vm.rack_id, vm.cluster_id) == (9, 8, 7)
+
+    def test_vm_filters(self):
+        store = TraceStore()
+        store.add_vm(make_vm(1, cloud=Cloud.PRIVATE, region="a"))
+        store.add_vm(make_vm(2, cloud=Cloud.PUBLIC, region="a"))
+        store.add_vm(make_vm(3, cloud=Cloud.PUBLIC, region="b", ended_at=10.0))
+        assert len(store.vms(cloud=Cloud.PUBLIC)) == 2
+        assert len(store.vms(region="a")) == 2
+        assert len(store.vms(completed_only=True)) == 1
+
+    def test_events_sorted_lazily(self):
+        store = TraceStore()
+        store.add_vm(make_vm(1))
+        store.add_event(EventRecord(10.0, EventKind.CREATE, 1, Cloud.PRIVATE, "a"))
+        store.add_event(EventRecord(5.0, EventKind.CREATE, 1, Cloud.PRIVATE, "a"))
+        times = [e.time for e in store.events()]
+        assert times == [5.0, 10.0]
+
+    def test_event_filters(self):
+        store = TraceStore()
+        store.add_event(EventRecord(1.0, EventKind.CREATE, 1, Cloud.PRIVATE, "a"))
+        store.add_event(EventRecord(2.0, EventKind.TERMINATE, 1, Cloud.PRIVATE, "a"))
+        store.add_event(EventRecord(3.0, EventKind.CREATE, 2, Cloud.PUBLIC, "b"))
+        assert len(store.events(kind=EventKind.CREATE)) == 2
+        assert len(store.events(cloud=Cloud.PUBLIC)) == 1
+        assert list(store.event_times(EventKind.CREATE, region="a")) == [1.0]
+
+    def test_utilization_validation(self):
+        store = TraceStore(TraceMetadata())
+        store.add_vm(make_vm(1))
+        n = store.metadata.n_samples
+        with pytest.raises(KeyError):
+            store.add_utilization(99, np.zeros(n))
+        with pytest.raises(ValueError):
+            store.add_utilization(1, np.zeros(n - 1))
+        with pytest.raises(ValueError):
+            store.add_utilization(1, np.full(n, 2.0))
+        store.add_utilization(1, np.full(n, 0.5, dtype=np.float32))
+        assert store.has_utilization(1)
+        assert store.utilization(1).dtype == np.float32
+
+    def test_utilization_matrix(self):
+        store = TraceStore()
+        n = store.metadata.n_samples
+        for vm_id in (1, 2):
+            store.add_vm(make_vm(vm_id))
+            store.add_utilization(vm_id, np.full(n, 0.1 * vm_id))
+        matrix = store.utilization_matrix([1, 2])
+        assert matrix.shape == (2, n)
+        with pytest.raises(KeyError):
+            store.utilization_matrix([3])
+
+    def test_vm_ids_with_utilization_filtered_by_cloud(self):
+        store = TraceStore()
+        n = store.metadata.n_samples
+        store.add_vm(make_vm(1, cloud=Cloud.PRIVATE))
+        store.add_vm(make_vm(2, cloud=Cloud.PUBLIC))
+        store.add_utilization(1, np.zeros(n))
+        store.add_utilization(2, np.zeros(n))
+        assert store.vm_ids_with_utilization(cloud=Cloud.PRIVATE) == [1]
+
+    def test_groupings(self):
+        store = TraceStore()
+        store.add_vm(make_vm(1, node_id=5, subscription_id=100))
+        store.add_vm(make_vm(2, node_id=5, subscription_id=200))
+        store.add_vm(make_vm(3, node_id=6, subscription_id=100))
+        assert len(store.vms_by_node()[5]) == 2
+        assert len(store.vms_by_subscription()[100]) == 2
+
+    def test_merge_disjoint(self):
+        a = TraceStore()
+        b = TraceStore()
+        a.add_vm(make_vm(1))
+        b.add_vm(make_vm(2))
+        b.add_region(RegionInfo(name="x", tz_offset_hours=0))
+        a.merge(b)
+        assert len(a) == 2
+        assert "x" in a.regions
+
+    def test_merge_colliding_ids_rejected(self):
+        a = TraceStore()
+        b = TraceStore()
+        a.add_vm(make_vm(1))
+        b.add_vm(make_vm(1))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_incompatible_grid_rejected(self):
+        a = TraceStore(TraceMetadata(duration=604800))
+        b = TraceStore(TraceMetadata(duration=86400))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_summary(self):
+        store = TraceStore()
+        store.add_vm(make_vm(1))
+        store.add_region(RegionInfo(name="r", tz_offset_hours=-5))
+        store.add_cluster(
+            ClusterInfo(cluster_id=1, region="r", cloud=Cloud.PRIVATE, n_nodes=2,
+                        node_capacity_cores=96, node_capacity_memory_gb=768)
+        )
+        store.add_node(
+            NodeInfo(node_id=1, cluster_id=1, rack_id=1, region="r",
+                     cloud=Cloud.PRIVATE, capacity_cores=96, capacity_memory_gb=768)
+        )
+        store.add_subscription(
+            SubscriptionInfo(subscription_id=1, cloud=Cloud.PRIVATE, service="s")
+        )
+        summary = store.summary()
+        assert summary["vms"] == 1
+        assert summary["clusters"] == 1
+        assert summary["nodes"] == 1
+        assert summary["subscriptions"] == 1
+
+    def test_region_names_by_cloud(self):
+        store = TraceStore()
+        store.add_region(RegionInfo(name="a", tz_offset_hours=0))
+        store.add_region(RegionInfo(name="b", tz_offset_hours=0))
+        store.add_vm(make_vm(1, cloud=Cloud.PRIVATE, region="a"))
+        assert store.region_names() == ["a", "b"]
+        assert store.region_names(cloud=Cloud.PRIVATE) == ["a"]
+
+
+class TestClusterInfo:
+    def test_capacity(self):
+        cluster = ClusterInfo(
+            cluster_id=1, region="r", cloud=Cloud.PRIVATE, n_nodes=10,
+            node_capacity_cores=96, node_capacity_memory_gb=768,
+        )
+        assert cluster.capacity_cores == 960

@@ -1,0 +1,142 @@
+"""Unit and property tests for time-series utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.timeseries import (
+    fold_daily,
+    hourly_event_counts,
+    hourly_occupancy,
+    moving_average,
+    percentile_bands,
+)
+from repro.timebase import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+class TestHourlyEventCounts:
+    def test_basic_binning(self):
+        times = np.array([0.0, 10.0, 3600.0, 7300.0])
+        counts = hourly_event_counts(times, duration=3 * 3600)
+        assert list(counts) == [2, 1, 1]
+
+    def test_events_outside_window_ignored(self):
+        times = np.array([-5.0, 100.0, 99999999.0])
+        counts = hourly_event_counts(times, duration=3600)
+        assert list(counts) == [1]
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        times = rng.uniform(0, 86400, 500)
+        counts = hourly_event_counts(times, duration=86400)
+        assert counts.sum() == 500
+        assert counts.shape == (24,)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            hourly_event_counts(np.array([1.0]), duration=0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=86399), min_size=0, max_size=200))
+    @settings(max_examples=50)
+    def test_conservation_property(self, times):
+        counts = hourly_event_counts(np.array(times), duration=86400)
+        assert counts.sum() == len(times)
+
+
+class TestHourlyOccupancy:
+    def test_single_interval(self):
+        counts = hourly_occupancy(
+            np.array([0.0]), np.array([2 * 3600.0]), duration=4 * 3600
+        )
+        assert list(counts) == [1, 1, 0, 0]
+
+    def test_censored_interval_counts_forever(self):
+        counts = hourly_occupancy(
+            np.array([3600.0]), np.array([np.inf]), duration=3 * 3600
+        )
+        assert list(counts) == [0, 1, 1]
+
+    def test_nan_end_treated_as_censored(self):
+        counts = hourly_occupancy(
+            np.array([0.0]), np.array([np.nan]), duration=2 * 3600
+        )
+        assert list(counts) == [1, 1]
+
+    def test_interval_born_before_window(self):
+        counts = hourly_occupancy(
+            np.array([-100.0]), np.array([1800.0]), duration=2 * 3600
+        )
+        assert list(counts) == [1, 0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hourly_occupancy(np.array([0.0]), np.array([1.0, 2.0]), duration=3600)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        values = np.array([1.0, 5.0, 3.0])
+        assert list(moving_average(values, 1)) == [1.0, 5.0, 3.0]
+
+    def test_constant_preserved(self):
+        assert np.allclose(moving_average(np.full(10, 2.0), 3), 2.0)
+
+    def test_length_preserved(self):
+        assert moving_average(np.arange(7, dtype=float), 3).shape == (7,)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(3), 0)
+
+
+class TestPercentileBands:
+    def test_known_percentiles(self):
+        matrix = np.arange(100, dtype=float).reshape(100, 1)
+        bands = percentile_bands(matrix, (50.0,))
+        assert bands.band(50.0)[0] == pytest.approx(49.5)
+        assert bands.n_series == 100
+
+    def test_band_ordering(self, rng):
+        matrix = rng.uniform(0, 1, size=(40, 24))
+        bands = percentile_bands(matrix)
+        assert np.all(bands.band(25.0) <= bands.band(50.0))
+        assert np.all(bands.band(50.0) <= bands.band(75.0))
+        assert np.all(bands.band(75.0) <= bands.band(95.0))
+
+    def test_unknown_percentile_raises(self):
+        bands = percentile_bands(np.ones((2, 3)), (50.0,))
+        with pytest.raises(KeyError):
+            bands.band(99.0)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            percentile_bands(np.ones(5))
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            percentile_bands(np.empty((0, 5)))
+
+
+class TestFoldDaily:
+    def test_fold_average(self):
+        # Two days: day 1 all zeros, day 2 all twos -> folded = ones.
+        series = np.concatenate([np.zeros(4), np.full(4, 2.0)])
+        assert np.allclose(fold_daily(series, 4), 1.0)
+
+    def test_partial_day_trimmed(self):
+        series = np.arange(10, dtype=float)
+        folded = fold_daily(series, 4)  # uses first 8 samples
+        assert folded.shape == (4,)
+        assert folded[0] == pytest.approx((0 + 4) / 2)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            fold_daily(np.ones(3), 4)
+
+    def test_periodic_series_folds_exactly(self):
+        day = np.sin(np.linspace(0, 2 * np.pi, 288, endpoint=False))
+        week = np.tile(day, 7)
+        assert np.allclose(fold_daily(week, 288), day)

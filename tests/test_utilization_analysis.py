@@ -1,0 +1,68 @@
+"""Unit/integration tests for the Section IV-A utilization analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import utilization as util
+from repro.telemetry.schema import Cloud, PATTERN_DIURNAL, PATTERN_STABLE
+from repro.telemetry.store import TraceStore
+
+
+class TestPatternMixAnalysis:
+    def test_fractions_sum_to_one(self, small_trace):
+        mix = util.pattern_mix(small_trace, Cloud.PRIVATE, max_vms=120)
+        assert sum(mix.as_fractions().values()) == pytest.approx(1.0)
+
+    def test_cloud_mixes_differ_in_documented_direction(self, medium_trace):
+        p = util.pattern_mix(medium_trace, Cloud.PRIVATE, max_vms=400).as_fractions()
+        q = util.pattern_mix(medium_trace, Cloud.PUBLIC, max_vms=400).as_fractions()
+        assert p[PATTERN_DIURNAL] > q[PATTERN_DIURNAL]
+        assert q[PATTERN_STABLE] > p[PATTERN_STABLE]
+
+
+class TestPercentiles:
+    def test_weekly_band_shapes(self, small_trace):
+        bands = util.weekly_percentiles(small_trace, Cloud.PRIVATE, max_vms=200)
+        assert bands.bands.shape[1] == small_trace.metadata.n_samples
+        assert np.all(bands.band(25.0) <= bands.band(75.0))
+
+    def test_daily_fold_length(self, small_trace):
+        daily = util.daily_percentiles(small_trace, Cloud.PRIVATE, max_vms=200)
+        assert daily.bands.shape[1] == 288
+
+    def test_empty_store_raises(self):
+        with pytest.raises(ValueError):
+            util.weekly_percentiles(TraceStore(), Cloud.PRIVATE)
+
+    def test_p75_under_40_percent(self, small_trace):
+        for cloud in (Cloud.PRIVATE, Cloud.PUBLIC):
+            bands = util.weekly_percentiles(small_trace, cloud, max_vms=300)
+            assert bands.band(75.0).mean() < 0.40
+
+    def test_private_daily_swing_larger(self, medium_trace):
+        p = util.daily_percentiles(medium_trace, Cloud.PRIVATE, max_vms=400)
+        q = util.daily_percentiles(medium_trace, Cloud.PUBLIC, max_vms=400)
+        assert util.daily_range(p, 50.0) > util.daily_range(q, 50.0)
+
+
+class TestSamplePatternSeries:
+    def test_returns_requested_pattern(self, small_trace):
+        samples = util.sample_pattern_series(
+            small_trace, Cloud.PRIVATE, PATTERN_DIURNAL, n_samples=2
+        )
+        assert 0 < len(samples) <= 2
+        for vm_id, series in samples.items():
+            assert small_trace.vm(vm_id).pattern == PATTERN_DIURNAL
+            assert series.shape == (small_trace.metadata.n_samples,)
+
+    def test_unknown_pattern_empty(self, small_trace):
+        assert util.sample_pattern_series(small_trace, Cloud.PRIVATE, "nope") == {}
+
+
+def test_daily_range_of_flat_band_is_zero():
+    from repro.analysis.timeseries import PercentileBands
+
+    bands = PercentileBands(percentiles=(50.0,), bands=np.ones((1, 288)), n_series=3)
+    assert util.daily_range(bands, 50.0) == 0.0

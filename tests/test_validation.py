@@ -1,0 +1,71 @@
+"""Tests for the calibration scorecard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.validation import (
+    AnchorResult,
+    CalibrationScorecard,
+    validate_trace,
+)
+
+
+class TestAnchorResult:
+    def test_pass_and_fail(self):
+        inside = AnchorResult("a", "p", measured=0.5, lower=0.4, upper=0.6)
+        outside = AnchorResult("a", "p", measured=0.7, lower=0.4, upper=0.6)
+        assert inside.passed
+        assert not outside.passed
+        assert "ok" in inside.render()
+        assert "OFF" in outside.render()
+
+
+class TestScorecard:
+    def test_default_trace_passes(self, medium_trace):
+        scorecard = validate_trace(medium_trace)
+        assert len(scorecard.anchors) >= 10
+        assert scorecard.passed, scorecard.render()
+        assert scorecard.failures == ()
+
+    def test_render(self, medium_trace):
+        text = validate_trace(medium_trace).render()
+        assert "Calibration scorecard" in text
+        assert "Fig. 3a" in text
+
+    def test_without_utilization_anchors(self):
+        from repro.workloads.generator import GeneratorConfig, generate_trace_pair
+
+        trace = generate_trace_pair(
+            GeneratorConfig(seed=5, scale=0.15, synthesize_utilization=False)
+        )
+        scorecard = validate_trace(trace, with_utilization_anchors=False)
+        names = {a.name for a in scorecard.anchors}
+        assert not any("correlation" in n for n in names)
+        assert scorecard.passed, scorecard.render()
+
+    def test_detects_broken_profile(self):
+        """A profile with inverted lifetime mixes must fail the scorecard."""
+        from dataclasses import replace
+
+        from repro.telemetry.store import TraceMetadata, TraceStore
+        from repro.workloads.generator import GeneratorConfig, TraceGenerator
+        from repro.workloads.lifetime import LifetimeModel
+        from repro.workloads.profiles import private_profile, public_profile
+
+        # Swap the clouds' lifetime models: the shortest-bin anchors break.
+        broken_private = replace(
+            private_profile(), lifetime=LifetimeModel(0.95, 0.04, 0.01)
+        )
+        config = GeneratorConfig(seed=5, scale=0.15, synthesize_utilization=False)
+        private = TraceGenerator(broken_private, config).generate()
+        public = TraceGenerator(
+            public_profile(), config, entity_offset=1
+        ).generate()
+        merged = TraceStore(TraceMetadata(label="broken"))
+        merged.merge(private)
+        merged.merge(public)
+        scorecard = validate_trace(merged, with_utilization_anchors=False)
+        assert not scorecard.passed
+        failed_names = {a.name for a in scorecard.failures}
+        assert any("private shortest-bin" in n for n in failed_names)
