@@ -2,14 +2,86 @@
 
 Not a paper artifact -- these guard the performance of the substrate itself
 (a week of private+public cloud with telemetry should generate in seconds).
+
+``test_batch_synthesis_speedup_at_scale_4`` is the acceptance benchmark for
+the vectorized telemetry fast path: at ``scale=4`` (tens of thousands of
+telemetry-eligible VMs) the batch pipeline must synthesize utilization at
+least 3x faster than the legacy per-VM loop it replaced.
 """
 
 from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
 
 from repro.core.study import run_study
 from repro.workloads.generator import GeneratorConfig, generate_trace_pair
 from repro.workloads.profiles import private_profile
 from repro.workloads.generator import TraceGenerator
+
+SYNTH_SCALE = 4.0
+SYNTH_SEED = 3
+
+
+@pytest.fixture(scope="module")
+def synth_setup():
+    """One simulated scale-4 private week, telemetry not yet synthesized.
+
+    Building the fleet dominates end-to-end generation time and is identical
+    for both synthesis modes, so it is done once; each timed run re-seeds the
+    generator RNG and synthesizes into a fresh store clone.
+    """
+    config = GeneratorConfig(
+        seed=SYNTH_SEED, scale=SYNTH_SCALE, synthesize_utilization=False
+    )
+    generator = TraceGenerator(private_profile(), config)
+    store = generator.generate()
+    profile = private_profile().scaled(SYNTH_SCALE)
+    return generator, profile, store
+
+
+def _time_synthesis(generator, profile, store, *, batch: bool, rounds: int = 3) -> float:
+    """Best-of-``rounds`` wall time of one full utilization synthesis."""
+    best = float("inf")
+    for _ in range(rounds):
+        generator.config = GeneratorConfig(
+            seed=SYNTH_SEED,
+            scale=SYNTH_SCALE,
+            synthesize_utilization=False,
+            telemetry_batch=batch,
+        )
+        generator._rng = np.random.default_rng([SYNTH_SEED, 0])
+        # Fresh telemetry storage so no mode sees the other's blocks.
+        store._util_blocks = []
+        store._util_index = {}
+        start = time.perf_counter()
+        generator._synthesize_utilization(profile, store)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batch_synthesis_speedup_at_scale_4(benchmark, synth_setup):
+    """The vectorized fast path is >= 3x the legacy per-VM loop at scale=4."""
+    generator, profile, store = synth_setup
+    loop_time = _time_synthesis(generator, profile, store, batch=False)
+    n_series = len(store.vm_ids_with_utilization())
+
+    batch_time = benchmark.pedantic(
+        lambda: _time_synthesis(generator, profile, store, batch=True),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["series"] = n_series
+    benchmark.extra_info["loop_seconds"] = round(loop_time, 3)
+    benchmark.extra_info["batch_seconds"] = round(batch_time, 3)
+    benchmark.extra_info["speedup"] = round(loop_time / batch_time, 2)
+    assert n_series > 10_000
+    assert loop_time / batch_time >= 3.0, (
+        f"batch synthesis {batch_time:.3f}s vs loop {loop_time:.3f}s "
+        f"({loop_time / batch_time:.2f}x, need >= 3x)"
+    )
 
 
 def test_generate_private_small(benchmark):

@@ -26,6 +26,11 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", type=str, default=None, help="load a saved trace directory instead"
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for trace generation (2 = private and public in "
+        "parallel; output is bit-identical to --workers 1)",
+    )
 
 
 def _load_or_generate(args: argparse.Namespace):
@@ -35,7 +40,10 @@ def _load_or_generate(args: argparse.Namespace):
     if args.trace:
         return load_trace(args.trace)
     t0 = time.time()
-    store = generate_trace_pair(GeneratorConfig(seed=args.seed, scale=args.scale))
+    store = generate_trace_pair(
+        GeneratorConfig(seed=args.seed, scale=args.scale),
+        workers=getattr(args, "workers", 1),
+    )
     print(
         f"generated {len(store)} VMs "
         f"({store.summary()['utilization_series']} with telemetry) "

@@ -42,6 +42,9 @@ def node_level_correlation(
     be alive at least ``min_alive`` seconds (default: 2 days) so that the
     correlation is estimated over a meaningful overlap; each correlation is
     computed on the VM's alive span.
+
+    When ``max_nodes`` caps the sample, nodes are visited in ascending
+    ``node_id`` order so the cap selects the same nodes on every run.
     """
     if min_alive is None:
         min_alive = 2 * SECONDS_PER_DAY
@@ -52,7 +55,8 @@ def node_level_correlation(
 
     correlations: list[float] = []
     n_nodes = 0
-    for node_id, node_util in node_series.items():
+    for node_id in sorted(node_series):
+        node_util = node_series[node_id]
         vms = [
             vm
             for vm in vms_by_node.get(node_id, [])

@@ -195,6 +195,9 @@ def load_azure_public_readings(
                 series[vm_id] = np.zeros(n_samples, dtype=np.float32)
             series[vm_id][sample] = min(1.0, max(0.0, float(row[avg_cpu_column]) / cpu_scale))
 
-    for vm_id, values in series.items():
-        store.add_utilization(vm_id, values)
+    if series:
+        # Register all readings as one storage block: one allocation and one
+        # validation pass instead of len(series) of each.
+        vm_ids = list(series)
+        store.add_utilization_block(vm_ids, np.vstack([series[v] for v in vm_ids]))
     return len(series)

@@ -114,8 +114,14 @@ def load_trace(directory: str | Path) -> TraceStore:
     npz_path = directory / "utilization.npz"
     if npz_path.exists():
         with np.load(npz_path) as arrays:
-            for key in arrays.files:
-                store.add_utilization(int(key), arrays[key])
+            keys = arrays.files
+            if keys:
+                # One storage block for the whole trace instead of one tiny
+                # array per VM.
+                store.add_utilization_block(
+                    [int(key) for key in keys],
+                    np.vstack([arrays[key] for key in keys]),
+                )
     return store
 
 

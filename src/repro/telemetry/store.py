@@ -11,13 +11,24 @@ into every analysis.  It holds three logical tables:
 plus static topology (regions, clusters, nodes, subscriptions).  Analyses are
 pure functions over a store, mirroring how the paper's analyses are pure
 functions of Azure telemetry.
+
+Utilization is held in *blocks*: float32 matrices of shape ``(n_vms,
+n_samples)`` plus a ``vm_id -> (block, row)`` index.  Batch producers (the
+generator's vectorized synthesis, the Azure readings adapter) register one
+preallocated matrix per call via :meth:`TraceStore.add_utilization_block`,
+while :meth:`TraceStore.add_utilization` keeps the one-VM-at-a-time API by
+wrapping the series in a single-row block.  All reads
+(:meth:`~TraceStore.utilization`, :meth:`~TraceStore.utilization_matrix`,
+:meth:`~TraceStore.iter_utilization`, :meth:`~TraceStore.merge`) go through
+the index, so callers never see the physical layout.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -48,6 +59,18 @@ class TraceMetadata:
         return int(self.duration // self.sample_period)
 
 
+def _event_order(event: EventRecord) -> tuple[float, str, int]:
+    """Total event ordering: time, then kind, then vm id.
+
+    ``time`` alone is ambiguous -- a CREATE and a TERMINATE can share a
+    timestamp (batch rollouts do this constantly) -- and an ambiguous order
+    would make :meth:`TraceStore.events` output depend on insertion order.
+    The ``(time, kind, vm_id)`` key makes the sort a deterministic function
+    of the event *set*.
+    """
+    return (event.time, event.kind.value, event.vm_id)
+
+
 class TraceStore:
     """Mutable container for one trace; append during simulation, then query.
 
@@ -61,7 +84,10 @@ class TraceStore:
         self._vms: dict[int, VMRecord] = {}
         self._events: list[EventRecord] = []
         self._events_sorted = True
-        self._utilization: dict[int, np.ndarray] = {}
+        #: Physical telemetry storage: float32 matrices of shape
+        #: (n_vms, n_samples), addressed through ``_util_index``.
+        self._util_blocks: list[np.ndarray] = []
+        self._util_index: dict[int, tuple[int, int]] = {}
         self.regions: dict[str, RegionInfo] = {}
         self.clusters: dict[int, ClusterInfo] = {}
         self.nodes: dict[int, NodeInfo] = {}
@@ -99,9 +125,7 @@ class TraceStore:
             raise ValueError(
                 f"vm {vm_id}: ended_at {ended_at} precedes created_at {old.created_at}"
             )
-        self._vms[vm_id] = VMRecord(
-            **{**old.__dict__, "ended_at": float(ended_at)}
-        )
+        self._vms[vm_id] = dataclasses.replace(old, ended_at=float(ended_at))
 
     def reassign_vm_placement(
         self,
@@ -114,34 +138,63 @@ class TraceStore:
     ) -> None:
         """Update a VM's placement after a live (possibly cross-region) migration."""
         old = self._vms[vm_id]
-        updates = {
+        updates: dict[str, object] = {
             "node_id": int(node_id),
             "rack_id": int(rack_id),
             "cluster_id": int(cluster_id),
         }
         if region is not None:
             updates["region"] = region
-        self._vms[vm_id] = VMRecord(**{**old.__dict__, **updates})
+        self._vms[vm_id] = dataclasses.replace(old, **updates)
 
     def add_event(self, event: EventRecord) -> None:
         """Append a lifecycle event."""
-        if self._events and event.time < self._events[-1].time:
+        if self._events and _event_order(event) < _event_order(self._events[-1]):
             self._events_sorted = False
         self._events.append(event)
 
     def add_utilization(self, vm_id: int, series: np.ndarray) -> None:
-        """Attach a 5-minute CPU utilization series (values in ``[0, 1]``)."""
-        if vm_id not in self._vms:
-            raise KeyError(f"unknown vm_id {vm_id}")
+        """Attach a 5-minute CPU utilization series (values in ``[0, 1]``).
+
+        Re-attaching replaces the VM's previous series.
+        """
         series = np.asarray(series, dtype=np.float32).ravel()
-        if series.size != self.metadata.n_samples:
+        self.add_utilization_block([vm_id], series.reshape(1, -1))
+
+    def add_utilization_block(
+        self, vm_ids: Sequence[int], block: np.ndarray
+    ) -> None:
+        """Attach utilization for many VMs at once from a ``(n, T)`` matrix.
+
+        Row ``i`` of ``block`` becomes the series of ``vm_ids[i]``.  The
+        matrix is kept as a single float32 block (copied only if the input
+        is not already float32 and C-contiguous); per-VM reads return views
+        into it.  Ids already carrying a series are re-pointed at their new
+        row (the old row is simply orphaned).
+        """
+        block = np.ascontiguousarray(block, dtype=np.float32)
+        if block.ndim != 2:
+            raise ValueError(f"utilization block must be 2-D, got {block.ndim}-D")
+        if block.shape[0] != len(vm_ids):
             raise ValueError(
-                f"utilization series for vm {vm_id} has {series.size} samples, "
-                f"expected {self.metadata.n_samples}"
+                f"block has {block.shape[0]} rows for {len(vm_ids)} vm ids"
             )
-        if np.any(series < 0) or np.any(series > 1):
+        if len(set(vm_ids)) != len(vm_ids):
+            raise ValueError("duplicate vm ids in utilization block")
+        for vm_id in vm_ids:
+            if vm_id not in self._vms:
+                raise KeyError(f"unknown vm_id {vm_id}")
+        if block.shape[1] != self.metadata.n_samples:
+            raise ValueError(
+                f"utilization series for vms {list(vm_ids)[:3]}... has "
+                f"{block.shape[1]} samples, expected {self.metadata.n_samples}"
+            )
+        if block.size and (float(block.min()) < 0.0 or float(block.max()) > 1.0):
             raise ValueError("utilization values must lie in [0, 1]")
-        self._utilization[vm_id] = series
+        block_idx = len(self._util_blocks)
+        self._util_blocks.append(block)
+        for row, vm_id in enumerate(vm_ids):
+            self._util_index[vm_id] = (block_idx, row)
 
     # ------------------------------------------------------------------
     # queries
@@ -180,9 +233,13 @@ class TraceStore:
         cloud: Cloud | None = None,
         region: str | None = None,
     ) -> list[EventRecord]:
-        """Return events in time order, optionally filtered."""
+        """Return events in ``(time, kind, vm_id)`` order, optionally filtered.
+
+        Ties on ``time`` are broken by event kind (alphabetical) and then vm
+        id, so the order is reproducible no matter how events were appended.
+        """
         if not self._events_sorted:
-            self._events.sort(key=lambda e: e.time)
+            self._events.sort(key=_event_order)
             self._events_sorted = True
         rows: Iterable[EventRecord] = self._events
         if kind is not None:
@@ -207,32 +264,51 @@ class TraceStore:
         )
 
     def utilization(self, vm_id: int) -> np.ndarray | None:
-        """The 5-minute utilization series of a VM, or ``None`` if absent."""
-        return self._utilization.get(vm_id)
+        """The 5-minute utilization series of a VM, or ``None`` if absent.
+
+        The returned array is a read view into the VM's storage block.
+        """
+        loc = self._util_index.get(vm_id)
+        if loc is None:
+            return None
+        block_idx, row = loc
+        return self._util_blocks[block_idx][row]
 
     def has_utilization(self, vm_id: int) -> bool:
         """Whether a utilization series is attached to this VM."""
-        return vm_id in self._utilization
+        return vm_id in self._util_index
 
     def utilization_matrix(self, vm_ids: Iterable[int]) -> np.ndarray:
-        """Stack utilization series of ``vm_ids`` into a (n, T) matrix."""
-        series = []
+        """Stack utilization series of ``vm_ids`` into a (n, T) matrix.
+
+        When every requested VM lives in the same storage block the stack is
+        a single fancy-index gather instead of ``n`` separate copies.
+        """
+        locs = []
         for vm_id in vm_ids:
-            arr = self._utilization.get(vm_id)
-            if arr is None:
+            loc = self._util_index.get(vm_id)
+            if loc is None:
                 raise KeyError(f"vm {vm_id} has no utilization series")
-            series.append(arr)
-        if not series:
+            locs.append(loc)
+        if not locs:
             return np.empty((0, self.metadata.n_samples), dtype=np.float32)
-        return np.vstack(series)
+        first_block = locs[0][0]
+        if all(block_idx == first_block for block_idx, _ in locs):
+            rows = np.fromiter(
+                (row for _, row in locs), dtype=np.intp, count=len(locs)
+            )
+            return self._util_blocks[first_block][rows]
+        return np.vstack(
+            [self._util_blocks[block_idx][row] for block_idx, row in locs]
+        )
 
     def vm_ids_with_utilization(self, *, cloud: Cloud | None = None) -> list[int]:
         """Ids of VMs that have a utilization series attached."""
         if cloud is None:
-            return sorted(self._utilization)
+            return sorted(self._util_index)
         return sorted(
             vm_id
-            for vm_id in self._utilization
+            for vm_id in self._util_index
             if self._vms[vm_id].cloud == cloud
         )
 
@@ -259,22 +335,53 @@ class TraceStore:
         return sorted({vm.region for vm in self.vms(cloud=cloud)})
 
     def iter_utilization(self) -> Iterator[tuple[int, np.ndarray]]:
-        """Iterate ``(vm_id, series)`` pairs."""
-        return iter(self._utilization.items())
+        """Iterate ``(vm_id, series)`` pairs in attachment order."""
+        for vm_id, (block_idx, row) in self._util_index.items():
+            yield vm_id, self._util_blocks[block_idx][row]
 
     # ------------------------------------------------------------------
     # merging (private + public traces are generated independently)
     # ------------------------------------------------------------------
     def merge(self, other: "TraceStore") -> None:
-        """Absorb ``other`` into this store; ids must not collide."""
+        """Absorb ``other`` into this store.
+
+        Any id collision -- VM, cluster, node or subscription ids, or a
+        region name registered with *different* attributes -- raises
+        ``ValueError`` before anything is absorbed, so a failed merge leaves
+        this store untouched.  (Identical region rows are tolerated because
+        independently generated clouds legitimately share the same
+        geography; see :meth:`add_region`.)  Utilization blocks are adopted
+        by reference, not copied.
+        """
         if other.metadata.n_samples != self.metadata.n_samples:
             raise ValueError("cannot merge stores with different sampling grids")
-        for vm in other._vms.values():
-            self.add_vm(vm)
-        for event in other._events:
-            self.add_event(event)
-        for vm_id, series in other._utilization.items():
-            self._utilization[vm_id] = series
+        collisions = {
+            "vm": self._vms.keys() & other._vms.keys(),
+            "cluster": self.clusters.keys() & other.clusters.keys(),
+            "node": self.nodes.keys() & other.nodes.keys(),
+            "subscription": self.subscriptions.keys() & other.subscriptions.keys(),
+        }
+        for label, dup in collisions.items():
+            if dup:
+                raise ValueError(
+                    f"merge: {len(dup)} colliding {label} id(s), e.g. {min(dup)}"
+                )
+        for name in self.regions.keys() & other.regions.keys():
+            if self.regions[name] != other.regions[name]:
+                raise ValueError(
+                    f"merge: region {name!r} is registered with different "
+                    "attributes in the two stores"
+                )
+        # Utilization ids are a subset of VM ids, so they cannot collide
+        # once the VM id sets are disjoint.
+        self._vms.update(other._vms)
+        if other._events:
+            self._events.extend(other._events)
+            self._events_sorted = False
+        block_offset = len(self._util_blocks)
+        self._util_blocks.extend(other._util_blocks)
+        for vm_id, (block_idx, row) in other._util_index.items():
+            self._util_index[vm_id] = (block_idx + block_offset, row)
         self.regions.update(other.regions)
         self.clusters.update(other.clusters)
         self.nodes.update(other.nodes)
@@ -285,7 +392,7 @@ class TraceStore:
         return {
             "vms": len(self._vms),
             "events": len(self._events),
-            "utilization_series": len(self._utilization),
+            "utilization_series": len(self._util_index),
             "regions": len(self.regions),
             "clusters": len(self.clusters),
             "nodes": len(self.nodes),

@@ -177,6 +177,97 @@ class TestTraceStore:
         with pytest.raises(ValueError):
             a.merge(b)
 
+    def test_merge_colliding_topology_ids_rejected(self):
+        cluster = ClusterInfo(cluster_id=7, region="r", cloud=Cloud.PRIVATE,
+                              n_nodes=2, node_capacity_cores=96,
+                              node_capacity_memory_gb=768)
+        node = NodeInfo(node_id=9, cluster_id=7, rack_id=0, region="r",
+                        cloud=Cloud.PRIVATE, capacity_cores=96,
+                        capacity_memory_gb=768)
+        sub = SubscriptionInfo(subscription_id=3, cloud=Cloud.PRIVATE, service="s")
+        for attach in (
+            lambda s: s.add_cluster(cluster),
+            lambda s: s.add_node(node),
+            lambda s: s.add_subscription(sub),
+        ):
+            a, b = TraceStore(), TraceStore()
+            attach(a)
+            attach(b)
+            with pytest.raises(ValueError, match="colliding"):
+                a.merge(b)
+
+    def test_merge_region_conflict_rejected_identical_tolerated(self):
+        a, b = TraceStore(), TraceStore()
+        a.add_region(RegionInfo(name="x", tz_offset_hours=0))
+        b.add_region(RegionInfo(name="x", tz_offset_hours=0))
+        b.add_vm(make_vm(2))
+        a.merge(b)  # identical region rows are fine (shared geography)
+        assert 2 in a
+
+        c, d = TraceStore(), TraceStore()
+        c.add_region(RegionInfo(name="x", tz_offset_hours=0))
+        d.add_region(RegionInfo(name="x", tz_offset_hours=-5))
+        with pytest.raises(ValueError, match="region"):
+            c.merge(d)
+
+    def test_failed_merge_leaves_store_untouched(self):
+        a, b = TraceStore(), TraceStore()
+        a.add_vm(make_vm(1))
+        b.add_vm(make_vm(2))
+        b.add_vm(make_vm(1))  # collides with a
+        b.add_region(RegionInfo(name="y", tz_offset_hours=2))
+        with pytest.raises(ValueError):
+            a.merge(b)
+        assert 2 not in a
+        assert "y" not in a.regions
+
+    def test_merge_adopts_utilization_blocks(self):
+        a, b = TraceStore(), TraceStore()
+        n = a.metadata.n_samples
+        a.add_vm(make_vm(1))
+        a.add_utilization(1, np.full(n, 0.25))
+        b.add_vm(make_vm(2))
+        b.add_vm(make_vm(3))
+        b.add_utilization_block([2, 3], np.full((2, n), 0.5))
+        a.merge(b)
+        assert a.vm_ids_with_utilization() == [1, 2, 3]
+        assert float(a.utilization(3)[0]) == 0.5
+
+    def test_event_time_ties_broken_by_kind_then_vm_id(self):
+        store = TraceStore()
+        # Insert in scrambled order: the sorted output must not depend on it.
+        store.add_event(EventRecord(5.0, EventKind.TERMINATE, 2, Cloud.PRIVATE, "a"))
+        store.add_event(EventRecord(5.0, EventKind.CREATE, 3, Cloud.PRIVATE, "a"))
+        store.add_event(EventRecord(5.0, EventKind.TERMINATE, 1, Cloud.PRIVATE, "a"))
+        store.add_event(EventRecord(5.0, EventKind.CREATE, 2, Cloud.PRIVATE, "a"))
+        ordered = [(e.kind, e.vm_id) for e in store.events()]
+        assert ordered == [
+            (EventKind.CREATE, 2),
+            (EventKind.CREATE, 3),
+            (EventKind.TERMINATE, 1),
+            (EventKind.TERMINATE, 2),
+        ]
+
+    def test_utilization_block_roundtrip_and_validation(self):
+        store = TraceStore()
+        n = store.metadata.n_samples
+        for vm_id in (1, 2, 3):
+            store.add_vm(make_vm(vm_id))
+        block = np.tile(np.array([[0.1], [0.2]], dtype=np.float32), (1, n))
+        store.add_utilization_block([1, 2], block)
+        # Reads are views into the registered block, not copies.
+        assert np.shares_memory(store.utilization(2), block)
+        assert float(store.utilization(1)[0]) == np.float32(0.1)
+        with pytest.raises(ValueError, match="duplicate"):
+            store.add_utilization_block([3, 3], np.zeros((2, n)))
+        with pytest.raises(ValueError):
+            store.add_utilization_block([3], np.zeros((2, n)))  # row mismatch
+        with pytest.raises(KeyError):
+            store.add_utilization_block([99], np.zeros((1, n)))
+        # Re-attaching re-points a VM at its newest series.
+        store.add_utilization(1, np.full(n, 0.9))
+        assert float(store.utilization(1)[0]) == np.float32(0.9)
+
     def test_summary(self):
         store = TraceStore()
         store.add_vm(make_vm(1))
