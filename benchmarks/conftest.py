@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments import cache as trace_cache
+from repro.telemetry.io import save_trace_atomic
 from repro.workloads.generator import GeneratorConfig, generate_trace_pair
 
 BENCH_SEED = 7
@@ -20,6 +22,30 @@ BENCH_SCALE = 0.25
 def trace():
     """The shared private+public trace all figure benchmarks analyze."""
     return generate_trace_pair(GeneratorConfig(seed=BENCH_SEED, scale=BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_cache_dir(trace, tmp_path_factory):
+    """A warm on-disk trace cache holding the benchmark trace."""
+    cache_dir = tmp_path_factory.mktemp("repro-bench-cache")
+    config = GeneratorConfig(seed=BENCH_SEED, scale=BENCH_SCALE)
+    save_trace_atomic(trace, trace_cache.trace_cache_path(config, cache_dir))
+    return cache_dir
+
+
+@pytest.fixture(scope="session")
+def warm_trace(bench_cache_dir):
+    """The benchmark trace served from the warm disk cache.
+
+    This is the round-tripped store a warm ``repro experiments`` run
+    consumes, so the ``*_warm_cache`` figure benchmarks both time the
+    analyses on it and re-assert every shape check against the paper —
+    cache fidelity is part of the measurement.
+    """
+    config = GeneratorConfig(seed=BENCH_SEED, scale=BENCH_SCALE)
+    store, info = trace_cache.fetch_trace(config, cache_dir=bench_cache_dir)
+    assert info.hit, "benchmark cache should be warm"
+    return store
 
 
 def record_checks(benchmark, result) -> None:

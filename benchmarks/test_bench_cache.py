@@ -1,0 +1,28 @@
+"""Benchmark the warm-cache trace load path.
+
+Times ``fetch_trace`` against a pre-populated disk cache — the exact
+path a warm ``repro experiments`` run takes instead of re-synthesising
+the trace pair.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.experiments import cache as trace_cache
+from repro.workloads.generator import GeneratorConfig
+
+
+def test_warm_fetch_trace(benchmark, bench_cache_dir, trace):
+    """Loading the cached trace from disk (vs regenerating it)."""
+    config = GeneratorConfig(seed=BENCH_SEED, scale=BENCH_SCALE)
+
+    def fetch():
+        store, info = trace_cache.fetch_trace(config, cache_dir=bench_cache_dir)
+        assert info.hit
+        return store
+
+    store = benchmark(fetch)
+    benchmark.extra_info["experiment"] = "cache-warm-fetch"
+    benchmark.extra_info["cache_key"] = trace_cache.config_hash(config)
+    benchmark.extra_info["vms"] = len(store)
+    assert len(store) == len(trace)

@@ -16,3 +16,9 @@ def test_fig1b(benchmark, trace):
     """Fig. 1(b): subscriptions per cluster box-plots (~20x gap)."""
     result = benchmark(fig1.run_fig1b, trace)
     record_checks(benchmark, result)
+
+
+def test_fig1a_warm_cache(benchmark, warm_trace):
+    """Fig. 1(a) on a trace served from the warm disk cache."""
+    result = benchmark(fig1.run_fig1a, warm_trace)
+    record_checks(benchmark, result)

@@ -10,3 +10,9 @@ def test_fig2(benchmark, trace):
     """Fig. 2: core x memory heatmaps; public extends into the corners."""
     result = benchmark(fig2.run, trace)
     record_checks(benchmark, result)
+
+
+def test_fig2_warm_cache(benchmark, warm_trace):
+    """Fig. 2 on a trace served from the warm disk cache."""
+    result = benchmark(fig2.run, warm_trace)
+    record_checks(benchmark, result)

@@ -34,3 +34,9 @@ def test_fig3c_removals(benchmark, trace):
     """Fig. 3(c) companion: VMs removed per hour mirror the creations."""
     result = benchmark(fig3.run_fig3c_removals, trace)
     record_checks(benchmark, result)
+
+
+def test_fig3a_warm_cache(benchmark, warm_trace):
+    """Fig. 3(a) on a trace served from the warm disk cache."""
+    result = benchmark(fig3.run_fig3a, warm_trace)
+    record_checks(benchmark, result)

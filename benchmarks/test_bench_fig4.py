@@ -16,3 +16,9 @@ def test_fig4b(benchmark, trace):
     """Fig. 4(b): core-weighted variant (40% vs 70% single-region share)."""
     result = benchmark(fig4.run_fig4b, trace)
     record_checks(benchmark, result)
+
+
+def test_fig4a_warm_cache(benchmark, warm_trace):
+    """Fig. 4(a) on a trace served from the warm disk cache."""
+    result = benchmark(fig4.run_fig4a, warm_trace)
+    record_checks(benchmark, result)

@@ -17,3 +17,11 @@ def test_fig5(benchmark, trace):
         fig5.run, args=(trace,), kwargs={"max_vms": None}, rounds=1, iterations=1
     )
     record_checks(benchmark, result)
+
+
+def test_fig5_warm_cache(benchmark, warm_trace):
+    """Fig. 5 on a trace served from the warm disk cache."""
+    result = benchmark.pedantic(
+        fig5.run, args=(warm_trace,), kwargs={"max_vms": None}, rounds=1, iterations=1
+    )
+    record_checks(benchmark, result)

@@ -12,3 +12,11 @@ def test_fig6(benchmark, trace):
         fig6.run, args=(trace,), kwargs={"max_vms": 800}, rounds=3, iterations=1
     )
     record_checks(benchmark, result)
+
+
+def test_fig6_warm_cache(benchmark, warm_trace):
+    """Fig. 6 on a trace served from the warm disk cache."""
+    result = benchmark.pedantic(
+        fig6.run, args=(warm_trace,), kwargs={"max_vms": 800}, rounds=3, iterations=1
+    )
+    record_checks(benchmark, result)

@@ -22,3 +22,9 @@ def test_fig7c(benchmark, trace):
     """Fig. 7(c): ServiceX peak alignment across time zones."""
     result = benchmark(fig7.run_fig7c, trace)
     record_checks(benchmark, result)
+
+
+def test_fig7a_warm_cache(benchmark, warm_trace):
+    """Fig. 7(a) on a trace served from the warm disk cache."""
+    result = benchmark.pedantic(fig7.run_fig7a, args=(warm_trace,), rounds=3, iterations=1)
+    record_checks(benchmark, result)

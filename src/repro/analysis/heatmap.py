@@ -93,13 +93,15 @@ def build_heatmap(
 
     def edges(data: np.ndarray, rng: tuple[float, float] | None) -> np.ndarray:
         lo, hi = rng if rng is not None else (float(data.min()), float(data.max()))
-        if hi <= lo:
-            hi = lo + 1.0
-        if log:
-            if lo <= 0:
-                raise ValueError("log-spaced bins require positive values")
-            return np.geomspace(lo, hi, bins + 1)
-        return np.linspace(lo, hi, bins + 1)
+        if log and lo <= 0:
+            raise ValueError("log-spaced bins require positive values")
+        spaced = np.geomspace if log else np.linspace
+        result = spaced(lo, hi, bins + 1) if hi > lo else None
+        if result is None or not np.all(np.diff(result) > 0):
+            # A span of a few ulps survives the hi > lo check but still
+            # collapses into duplicate edges under rounding; widen it.
+            result = spaced(lo, lo + 1.0, bins + 1)
+        return result
 
     x_edges = edges(x, x_range)
     y_edges = edges(y, y_range)

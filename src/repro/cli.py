@@ -4,11 +4,15 @@ Subcommands::
 
     repro-cloud generate    --seed 7 --scale 0.3 --out trace_dir
     repro-cloud study       [--trace trace_dir | --seed 7 --scale 0.3]
-    repro-cloud experiments [--write-md EXPERIMENTS.md] [--seed 7 --scale 0.3]
+    repro-cloud experiments [--jobs 4] [--manifest [PATH]] [--cache-dir DIR]
+                            [--write-md EXPERIMENTS.md] [--seed 7 --scale 0.3]
     repro-cloud kb          [--trace trace_dir] [--out kb.json]
     repro-cloud case-study  [--seed 11]
 
 (Also runnable as ``python -m repro ...``.)
+
+``experiments`` and ``study`` exit nonzero when any shape check or insight
+fails, so CI can gate directly on the command.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 
 def _add_trace_args(parser: argparse.ArgumentParser) -> None:
@@ -76,23 +81,65 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0 if all(holds for _i, holds, _e in study.insights()) else 1
 
 
+def _manifest_path(args: argparse.Namespace) -> Path | None:
+    """Resolve --manifest: explicit path, or manifest.json next to EXPERIMENTS.md."""
+    if args.manifest is None:
+        return None
+    if args.manifest is not True:
+        return Path(args.manifest)
+    base = Path(args.write_md).parent if args.write_md else Path(".")
+    return base / "manifest.json"
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.config import ExperimentConfig
-    from repro.experiments.runner import render_report, run_all, write_experiments_md
+    from repro.experiments.runner import (
+        render_report,
+        run_pipeline,
+        write_experiments_md,
+        write_manifest,
+    )
 
     config = ExperimentConfig(seed=args.seed, scale=args.scale)
-    results = run_all(config)
+    report = run_pipeline(
+        config,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    results = report.results
     print(render_report(results))
+    trace = report.trace_info
+    totals = report.manifest["totals"]
+    print(
+        f"trace cache {'hit' if trace.hit else 'miss'} ({trace.path}); "
+        f"{totals['experiments']} experiments in {totals['wall_time_s']:.1f}s "
+        f"with --jobs {args.jobs}",
+        file=sys.stderr,
+    )
     if args.write_md:
         out = write_experiments_md(results, args.write_md, config=config)
         print(f"wrote {out}")
+    manifest_path = _manifest_path(args)
+    if manifest_path:
+        write_manifest(report.manifest, manifest_path)
+        print(f"wrote {manifest_path}")
     if args.export_dir:
         from repro.experiments.export import export_results
 
         written = export_results(results, args.export_dir)
         n_files = sum(len(paths) for paths in written.values())
         print(f"exported {n_files} CSV files to {args.export_dir}")
-    return 0 if all(r.passed for r in results) else 1
+    # The pass count is the gate: CI consumes this exit code (and the
+    # manifest) instead of re-parsing the console report.
+    if totals["failed"]:
+        print(
+            f"{totals['failed']}/{totals['experiments']} experiments failed "
+            "their shape checks",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_kb(args: argparse.Namespace) -> int:
@@ -203,6 +250,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiments", help="reproduce every figure/table")
     p_exp.add_argument("--seed", type=int, default=7)
     p_exp.add_argument("--scale", type=float, default=0.3)
+    p_exp.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the experiment pipeline (1 = serial; "
+        "results are identical at any job count)",
+    )
+    p_exp.add_argument(
+        "--manifest", nargs="?", const=True, default=None, metavar="PATH",
+        help="write the machine-readable run manifest (default path: "
+        "manifest.json next to EXPERIMENTS.md)",
+    )
+    p_exp.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="trace cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    p_exp.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk trace cache (always re-synthesize)",
+    )
     p_exp.add_argument(
         "--write-md", type=str, default=None, help="regenerate EXPERIMENTS.md here"
     )

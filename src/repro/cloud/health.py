@@ -27,8 +27,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cloud.faults import FailureInjector
-from repro.cloud.platform import CloudPlatform
 from repro.telemetry.store import TraceStore
 
 

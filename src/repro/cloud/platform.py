@@ -16,7 +16,7 @@ import numpy as np
 from repro.cloud.allocator import AllocationFailure, AllocationService, PlacementPolicy
 from repro.cloud.entities import Topology
 from repro.cloud.sku import VMSku
-from repro.telemetry.schema import Cloud, EventKind, EventRecord, VMRecord
+from repro.telemetry.schema import EventKind, EventRecord, VMRecord
 from repro.telemetry.store import TraceStore
 
 

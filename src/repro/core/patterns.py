@@ -32,7 +32,7 @@ from repro.telemetry.schema import (
     PATTERN_STABLE,
 )
 from repro.telemetry.store import TraceStore
-from repro.timebase import SAMPLE_PERIOD, SAMPLES_PER_DAY, SAMPLES_PER_HOUR, SECONDS_PER_DAY
+from repro.timebase import SAMPLE_PERIOD, SECONDS_PER_DAY
 
 
 @dataclass(frozen=True)

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.analysis.cdf import EmpiricalCdf
 from repro.analysis.heatmap import Heatmap2D
 from repro.analysis.stats import BoxplotStats

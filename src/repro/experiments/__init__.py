@@ -11,13 +11,15 @@ the paper's reported values, and (c) a plain-text rendering.
 
 from repro.experiments.base import CheckResult, ExperimentResult
 from repro.experiments.config import ExperimentConfig, get_trace
-from repro.experiments.runner import run_all, write_experiments_md
+from repro.experiments.runner import RunReport, run_all, run_pipeline, write_experiments_md
 
 __all__ = [
     "CheckResult",
     "ExperimentConfig",
     "ExperimentResult",
+    "RunReport",
     "get_trace",
     "run_all",
+    "run_pipeline",
     "write_experiments_md",
 ]

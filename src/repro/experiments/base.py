@@ -20,6 +20,25 @@ class CheckResult:
         status = "PASS" if self.passed else "FAIL"
         return f"[{status}] {self.name}: paper={self.paper} measured={self.measured}"
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering (used by the run manifest)."""
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "paper": self.paper,
+            "measured": self.measured,
+        }
+
+    @classmethod
+    def from_dict(cls, row: dict[str, Any]) -> CheckResult:
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=row["name"],
+            passed=bool(row["passed"]),
+            paper=row["paper"],
+            measured=row["measured"],
+        )
+
 
 @dataclass
 class ExperimentResult:
@@ -51,3 +70,27 @@ class ExperimentResult:
         if self.notes:
             lines.append(f"  note: {self.notes}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering (used by the run manifest).
+
+        ``series`` is intentionally omitted: it holds arbitrary numpy
+        payloads that belong in the CSV export, not the manifest.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "passed": self.passed,
+            "checks": [check.to_dict() for check in self.checks],
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, row: dict[str, Any]) -> ExperimentResult:
+        """Inverse of :meth:`to_dict` (``series`` comes back empty)."""
+        return cls(
+            experiment_id=row["experiment_id"],
+            title=row["title"],
+            checks=[CheckResult.from_dict(c) for c in row.get("checks", [])],
+            notes=row.get("notes", ""),
+        )

@@ -1,0 +1,133 @@
+"""Content-addressed on-disk cache for generated trace pairs.
+
+Generating the synthetic private+public trace is by far the most expensive
+step of the evaluation pipeline, and it is a pure function of
+:class:`~repro.workloads.generator.GeneratorConfig`.  This module keys each
+generated pair on a stable hash of the config plus
+:data:`~repro.workloads.generator.GENERATOR_VERSION` and stores it in the
+existing :mod:`repro.telemetry.io` directory format, so a warm second run
+(another process, a ``--jobs`` worker, a CI job with a restored cache)
+skips synthesis entirely and pays only the deserialization cost.
+
+Layout::
+
+    <cache-dir>/traces/<config-hash>/   # one save_trace() directory per key
+
+The cache root resolves, in order, to the explicit ``cache_dir`` argument,
+the ``REPRO_CACHE_DIR`` environment variable, then ``~/.cache/repro``.
+Writes are atomic (temp directory + rename) so concurrent writers of the
+same key are safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.telemetry.io import is_trace_dir, load_trace, save_trace_atomic
+from repro.telemetry.store import TraceStore
+from repro.workloads.generator import GENERATOR_VERSION, GeneratorConfig, generate_trace_pair
+
+#: Environment variable overriding the default cache root.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def resolve_cache_dir(cache_dir: str | Path | None = None) -> Path:
+    """The cache root: explicit argument > ``$REPRO_CACHE_DIR`` > ``~/.cache/repro``."""
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def config_hash(config: GeneratorConfig) -> str:
+    """A stable content hash of ``config`` plus the generator version.
+
+    Every :class:`GeneratorConfig` field participates, so any knob that
+    could change the generated trace changes the key; enum fields hash by
+    value so the key survives module reloads and interpreter restarts.
+    """
+    payload: dict[str, object] = {"generator_version": GENERATOR_VERSION}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        payload[field.name] = getattr(value, "value", value)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:20]
+
+
+def trace_cache_path(
+    config: GeneratorConfig, cache_dir: str | Path | None = None
+) -> Path:
+    """Where the trace pair for ``config`` lives (whether or not it exists yet)."""
+    return resolve_cache_dir(cache_dir) / "traces" / config_hash(config)
+
+
+@dataclass(frozen=True)
+class TraceCacheInfo:
+    """Provenance of one trace fetch, recorded in the run manifest."""
+
+    key: str
+    path: str
+    #: True when the trace was served from the on-disk cache (synthesis skipped).
+    hit: bool
+    #: ``"disk"`` for a cache hit, ``"generated"`` for a fresh synthesis.
+    source: str
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering for the manifest."""
+        return {"key": self.key, "path": self.path, "hit": self.hit, "source": self.source}
+
+
+def fetch_trace(
+    config: GeneratorConfig,
+    *,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    workers: int = 1,
+) -> tuple[TraceStore, TraceCacheInfo]:
+    """Return the trace pair for ``config`` and where it came from.
+
+    On a miss the pair is generated (``workers`` forwarded to
+    :func:`generate_trace_pair`) and, unless ``use_cache`` is false, stored
+    atomically for the next run.
+    """
+    key = config_hash(config)
+    path = trace_cache_path(config, cache_dir)
+    if use_cache and is_trace_dir(path):
+        return load_trace(path), TraceCacheInfo(key, str(path), hit=True, source="disk")
+    store = generate_trace_pair(config, workers=workers)
+    if use_cache:
+        save_trace_atomic(store, path)
+    return store, TraceCacheInfo(key, str(path), hit=False, source="generated")
+
+
+def get_trace(
+    config: GeneratorConfig,
+    *,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    workers: int = 1,
+) -> TraceStore:
+    """:func:`fetch_trace` without the provenance record."""
+    store, _info = fetch_trace(
+        config, cache_dir=cache_dir, use_cache=use_cache, workers=workers
+    )
+    return store
+
+
+def clear_cache(cache_dir: str | Path | None = None) -> int:
+    """Delete every cached trace under the resolved root; returns the count."""
+    traces = resolve_cache_dir(cache_dir) / "traces"
+    if not traces.is_dir():
+        return 0
+    entries = [p for p in traces.iterdir() if p.is_dir()]
+    for entry in entries:
+        shutil.rmtree(entry, ignore_errors=True)
+    return len(entries)

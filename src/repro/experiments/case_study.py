@@ -25,7 +25,7 @@ from repro.experiments.base import ExperimentResult
 from repro.management.placement import RegionShiftPlanner
 from repro.telemetry.schema import Cloud, PATTERN_DIURNAL, PATTERN_STABLE, SubscriptionInfo
 from repro.telemetry.store import TraceMetadata, TraceStore
-from repro.timebase import SAMPLE_PERIOD, SECONDS_PER_WEEK, sample_times
+from repro.timebase import SECONDS_PER_WEEK, sample_times
 from repro.workloads.generator import GLOBAL_CLOCK_TZ
 from repro.workloads.utilization_models import diurnal_signal, stable_signal
 

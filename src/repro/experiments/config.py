@@ -1,15 +1,20 @@
-"""Shared configuration and trace cache for the experiment harness.
+"""Shared configuration and trace memoization for the experiment harness.
 
 Generating a trace pair is the expensive step, so experiments share one
-cached trace per ``(seed, scale)``.
+trace per ``(seed, scale)``: an in-process memo serves repeat calls within
+one run, backed by the content-addressed on-disk cache in
+:mod:`repro.experiments.cache` so a warm second *process* (or a spawned
+``--jobs`` worker) skips synthesis too.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
+from repro.experiments import cache
 from repro.telemetry.store import TraceStore
-from repro.workloads.generator import GeneratorConfig, generate_trace_pair
+from repro.workloads.generator import GeneratorConfig
 
 
 @dataclass(frozen=True)
@@ -25,19 +30,40 @@ class ExperimentConfig:
         """The generator settings implied by this experiment config."""
         return GeneratorConfig(seed=self.seed, scale=self.scale)
 
+    def config_hash(self) -> str:
+        """The trace-cache key for this config (see :func:`cache.config_hash`)."""
+        return cache.config_hash(self.generator_config())
+
 
 _TRACE_CACHE: dict[tuple[int, float], TraceStore] = {}
 
 
-def get_trace(config: ExperimentConfig | None = None) -> TraceStore:
-    """Return the (cached) merged private+public trace for ``config``."""
+def get_trace(
+    config: ExperimentConfig | None = None,
+    *,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+) -> TraceStore:
+    """Return the (memoized) merged private+public trace for ``config``."""
     config = config or ExperimentConfig()
     key = (config.seed, config.scale)
     if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = generate_trace_pair(config.generator_config())
+        _TRACE_CACHE[key] = cache.get_trace(
+            config.generator_config(), cache_dir=cache_dir, use_cache=use_cache
+        )
     return _TRACE_CACHE[key]
 
 
+def prime_trace(config: ExperimentConfig, store: TraceStore) -> None:
+    """Install ``store`` as the in-memory trace for ``config``.
+
+    The pipeline runner fetches through the disk cache itself (to learn
+    hit/miss for the manifest) and primes the memo so worker tasks reuse
+    the same object instead of re-reading it.
+    """
+    _TRACE_CACHE[(config.seed, config.scale)] = store
+
+
 def clear_trace_cache() -> None:
-    """Drop cached traces (used by tests to bound memory)."""
+    """Drop memoized traces (used by tests to bound memory)."""
     _TRACE_CACHE.clear()

@@ -10,8 +10,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core import correlation as corr
 from repro.experiments.base import ExperimentResult
 from repro.telemetry.schema import Cloud

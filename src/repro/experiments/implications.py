@@ -11,8 +11,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments.base import ExperimentResult
 from repro.management.oversubscription import ChanceConstrainedOversubscriber, sweep_epsilon
 from repro.management.spot import SpotAdoptionAdvisor

@@ -1,53 +1,212 @@
-"""Run the full evaluation and regenerate EXPERIMENTS.md."""
+"""Run the full evaluation, emit the run manifest, regenerate EXPERIMENTS.md.
+
+:func:`run_pipeline` is the cached, parallel entry point: it fetches the
+shared trace through the content-addressed disk cache (recording hit/miss
+for the manifest), fans the registered tasks out across ``jobs`` worker
+processes, and assembles a machine-readable ``manifest.json`` describing
+every experiment — id, paper artifact, pass/fail, wall time, trace-cache
+provenance, config hash — which CI consumes to gate merges.
+:func:`run_all` keeps the historical list-of-results API on top of it.
+"""
 
 from __future__ import annotations
 
+import json
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.experiments import case_study, fig1, fig2, fig3, fig4, fig5, fig6, fig7, implications, validity
+from repro.experiments import cache, parallel
 from repro.experiments.base import ExperimentResult
-from repro.experiments.config import ExperimentConfig, get_trace
+from repro.experiments.cache import TraceCacheInfo
+from repro.experiments.config import ExperimentConfig, prime_trace
+from repro.experiments.parallel import TaskOutcome
+from repro.workloads.generator import GENERATOR_VERSION
 
 #: Maps experiment ids to the paper artifact they reproduce.
-PAPER_ARTIFACTS = {
-    "fig1a": "Figure 1(a)",
-    "fig1b": "Figure 1(b)",
-    "fig2": "Figure 2",
-    "fig3a": "Figure 3(a)",
-    "fig3b": "Figure 3(b)",
-    "fig3c": "Figure 3(c)",
-    "fig3c-removals": "Section III-B (VM removal behaviour)",
-    "fig3d": "Figure 3(d)",
-    "fig4a": "Figure 4(a)",
-    "fig4b": "Figure 4(b)",
-    "fig5": "Figure 5",
-    "fig6": "Figure 6",
-    "fig7a": "Figure 7(a)",
-    "fig7b": "Figure 7(b)",
-    "fig7c": "Figure 7(c)",
-    "case-study": "Section IV-B Canada pilot",
-    "validity-holiday": "Section VII threats to validity",
-    "im1-oversubscription": "Section III-B implication (over-subscription)",
-    "im2-spot": "Section III-B implication (spot VMs)",
-}
+PAPER_ARTIFACTS = {task.task_id: task.paper_artifact for task in parallel.REGISTRY}
+
+#: Version of the ``manifest.json`` layout; bump on breaking field changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+_MANIFEST_TOP_KEYS = (
+    "schema_version",
+    "config",
+    "config_hash",
+    "generator_version",
+    "jobs",
+    "cache",
+    "trace",
+    "totals",
+    "experiments",
+)
+_MANIFEST_ROW_KEYS = (
+    "id",
+    "paper_artifact",
+    "passed",
+    "checks_passed",
+    "checks_total",
+    "wall_time_s",
+    "trace_cache",
+    "config_hash",
+)
 
 
-def run_all(config: ExperimentConfig | None = None) -> list[ExperimentResult]:
-    """Execute every figure/table experiment on one shared trace."""
+@dataclass
+class RunReport:
+    """Everything one pipeline run produced."""
+
+    config: ExperimentConfig
+    outcomes: list[TaskOutcome]
+    trace_info: TraceCacheInfo
+    manifest: dict = field(default_factory=dict)
+
+    @property
+    def results(self) -> list[ExperimentResult]:
+        """The experiment results in registry order."""
+        return [outcome.result for outcome in self.outcomes]
+
+
+def run_pipeline(
+    config: ExperimentConfig | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+) -> RunReport:
+    """Execute every registered experiment and build the run manifest."""
     config = config or ExperimentConfig()
-    store = get_trace(config)
-    results: list[ExperimentResult] = []
-    results.extend(fig1.run(store))
-    results.append(fig2.run(store))
-    results.extend(fig3.run(store))
-    results.extend(fig4.run(store))
-    results.append(fig5.run(store))
-    results.append(fig6.run(store))
-    results.extend(fig7.run(store))
-    results.extend(implications.run(store))
-    results.append(case_study.run(seed=config.seed + 4))
-    results.append(validity.run(seed=config.seed, scale=min(config.scale, 0.15)))
-    return results
+    t0 = time.perf_counter()
+    store, trace_info = cache.fetch_trace(
+        config.generator_config(), cache_dir=cache_dir, use_cache=use_cache
+    )
+    prime_trace(config, store)
+    outcomes = parallel.execute(
+        config, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache
+    )
+    manifest = build_manifest(
+        outcomes,
+        config,
+        jobs=jobs,
+        trace_info=trace_info,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        elapsed_s=time.perf_counter() - t0,
+    )
+    return RunReport(
+        config=config, outcomes=outcomes, trace_info=trace_info, manifest=manifest
+    )
+
+
+def run_all(
+    config: ExperimentConfig | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+) -> list[ExperimentResult]:
+    """Execute every figure/table experiment on one shared trace."""
+    return run_pipeline(
+        config, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache
+    ).results
+
+
+def build_manifest(
+    outcomes: list[TaskOutcome],
+    config: ExperimentConfig,
+    *,
+    jobs: int,
+    trace_info: TraceCacheInfo,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    elapsed_s: float = 0.0,
+) -> dict:
+    """The machine-readable record of one pipeline run."""
+    experiments = []
+    for outcome in outcomes:
+        task = parallel.TASKS[outcome.task_id]
+        result = outcome.result
+        shared = task.uses_shared_trace
+        experiments.append(
+            {
+                "id": result.experiment_id,
+                "paper_artifact": task.paper_artifact,
+                "passed": result.passed,
+                "checks_passed": sum(check.passed for check in result.checks),
+                "checks_total": len(result.checks),
+                "wall_time_s": round(outcome.wall_time_s, 3),
+                "trace_cache": ("hit" if trace_info.hit else "miss") if shared else "n/a",
+                "config_hash": trace_info.key,
+                "checks": [check.to_dict() for check in result.checks],
+            }
+        )
+    passed = sum(1 for outcome in outcomes if outcome.result.passed)
+    return {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "config": {"seed": config.seed, "scale": config.scale},
+        "config_hash": trace_info.key,
+        "generator_version": GENERATOR_VERSION,
+        "jobs": jobs,
+        "cache": {
+            "dir": str(cache.resolve_cache_dir(cache_dir)),
+            "enabled": bool(use_cache),
+        },
+        "trace": trace_info.to_dict(),
+        "totals": {
+            "experiments": len(outcomes),
+            "passed": passed,
+            "failed": len(outcomes) - passed,
+            "wall_time_s": round(elapsed_s, 3),
+        },
+        "experiments": experiments,
+    }
+
+
+def validate_manifest(manifest: dict) -> dict:
+    """Check the manifest layout; returns it unchanged or raises ValueError."""
+    if not isinstance(manifest, dict):
+        raise ValueError(f"manifest must be an object, got {type(manifest).__name__}")
+    missing = [key for key in _MANIFEST_TOP_KEYS if key not in manifest]
+    if missing:
+        raise ValueError(f"manifest missing key(s): {', '.join(missing)}")
+    if manifest["schema_version"] != MANIFEST_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported manifest schema_version {manifest['schema_version']!r} "
+            f"(expected {MANIFEST_SCHEMA_VERSION})"
+        )
+    rows = manifest["experiments"]
+    if not isinstance(rows, list):
+        raise ValueError("manifest 'experiments' must be a list")
+    for row in rows:
+        row_missing = [key for key in _MANIFEST_ROW_KEYS if key not in row]
+        if row_missing:
+            raise ValueError(
+                f"experiment row {row.get('id', '?')!r} missing key(s): "
+                f"{', '.join(row_missing)}"
+            )
+        if row["trace_cache"] not in ("hit", "miss", "n/a"):
+            raise ValueError(
+                f"experiment row {row['id']!r} has invalid trace_cache "
+                f"{row['trace_cache']!r}"
+            )
+    totals = manifest["totals"]
+    if totals["passed"] + totals["failed"] != totals["experiments"]:
+        raise ValueError("manifest totals are inconsistent")
+    if totals["experiments"] != len(rows):
+        raise ValueError("manifest totals disagree with the experiment rows")
+    return manifest
+
+
+def write_manifest(manifest: dict, path: str | Path) -> Path:
+    """Write (validated) ``manifest`` as JSON; returns the path."""
+    out = Path(path)
+    out.write_text(json.dumps(validate_manifest(manifest), indent=2) + "\n")
+    return out
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Read and validate a manifest previously written by :func:`write_manifest`."""
+    return validate_manifest(json.loads(Path(path).read_text()))
 
 
 def render_report(results: list[ExperimentResult]) -> str:

@@ -14,24 +14,33 @@ checks which findings are robust:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core import deployment as dep
 from repro.core import utilization as util
+from repro.experiments import cache
 from repro.experiments.base import ExperimentResult
 from repro.telemetry.schema import Cloud
-from repro.workloads.generator import GeneratorConfig, generate_trace_pair
+from repro.workloads.generator import GeneratorConfig
 from repro.workloads.lifetime import SHORTEST_BIN_SECONDS
 
 
-def run(*, seed: int = 7, scale: float = 0.15) -> ExperimentResult:
+def run(
+    *,
+    seed: int = 7,
+    scale: float = 0.15,
+    cache_dir: str | None = None,
+    use_cache: bool = True,
+) -> ExperimentResult:
     """Compare an ordinary week against a holiday week."""
     result = ExperimentResult(
         "validity-holiday", "Threats to validity: holiday-week sensitivity"
     )
-    ordinary = generate_trace_pair(GeneratorConfig(seed=seed, scale=scale))
-    holiday = generate_trace_pair(
-        GeneratorConfig(seed=seed, scale=scale, holiday_week=True)
+    ordinary = cache.get_trace(
+        GeneratorConfig(seed=seed, scale=scale),
+        cache_dir=cache_dir, use_cache=use_cache,
+    )
+    holiday = cache.get_trace(
+        GeneratorConfig(seed=seed, scale=scale, holiday_week=True),
+        cache_dir=cache_dir, use_cache=use_cache,
     )
 
     # Robust finding 1: private arrivals remain burstier than public.

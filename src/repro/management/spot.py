@@ -22,12 +22,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.timeseries import hourly_occupancy
 from repro.management.prediction import LogisticRegression
 from repro.telemetry.schema import Cloud
 from repro.telemetry.store import TraceStore
 from repro.timebase import SECONDS_PER_HOUR
-from repro.workloads.lifetime import SHORTEST_BIN_SECONDS
 
 
 class SpotEvictionModel:

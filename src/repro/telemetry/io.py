@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import json
 import math
+import shutil
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -29,6 +31,40 @@ from repro.telemetry.schema import (
     VMRecord,
 )
 from repro.telemetry.store import TraceMetadata, TraceStore
+
+
+#: Files every saved trace directory must contain (``utilization.npz`` is
+#: optional: traces generated without telemetry omit it).
+TRACE_FILES = ("metadata.json", "topology.json", "vms.jsonl", "events.jsonl")
+
+
+def is_trace_dir(directory: str | Path) -> bool:
+    """Whether ``directory`` holds a complete saved trace."""
+    directory = Path(directory)
+    return all((directory / name).is_file() for name in TRACE_FILES)
+
+
+def save_trace_atomic(store: TraceStore, directory: str | Path) -> Path:
+    """Like :func:`save_trace`, but all-or-nothing.
+
+    The trace is written to a temporary sibling directory and renamed into
+    place, so concurrent writers (e.g. two ``--jobs`` workers caching the
+    same config) never observe a half-written trace.  If another writer
+    wins the rename race, its complete copy is kept and ours is discarded.
+    """
+    directory = Path(directory)
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    tmp = Path(tempfile.mkdtemp(prefix=f".{directory.name}.tmp-", dir=directory.parent))
+    try:
+        save_trace(store, tmp)
+        try:
+            tmp.rename(directory)
+        except OSError:
+            if not is_trace_dir(directory):
+                raise
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return directory
 
 
 def save_trace(store: TraceStore, directory: str | Path) -> Path:

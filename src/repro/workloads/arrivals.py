@@ -18,7 +18,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.timebase import SECONDS_PER_DAY, SECONDS_PER_HOUR, day_of_week, hour_of_day
+from repro.timebase import SECONDS_PER_HOUR, day_of_week, hour_of_day
 
 RateCurve = Callable[[np.ndarray], np.ndarray]
 

@@ -19,7 +19,7 @@ experiment consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -31,7 +31,6 @@ from repro.cloud.platform import CloudPlatform, VMRequest
 from repro.cloud.simulation import Simulator
 from repro.telemetry.schema import (
     Cloud,
-    PATTERN_DIURNAL,
     PATTERN_HOURLY_PEAK,
     PATTERN_IRREGULAR,
     PATTERN_STABLE,
@@ -66,6 +65,12 @@ from repro.workloads.utilization_models import (
 #: UTC offset of the "headquarters clock" that region-agnostic services
 #: follow in every region (the geo-load-balancer of the ServiceX case study).
 GLOBAL_CLOCK_TZ = -8.0
+
+#: Version of the generation pipeline's *output*.  The experiment trace
+#: cache keys on this together with :class:`GeneratorConfig`, so bump it
+#: whenever a change alters the generated trace for an unchanged config —
+#: stale cached traces are then invalidated automatically.
+GENERATOR_VERSION = "1"
 
 
 @dataclass(frozen=True)

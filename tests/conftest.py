@@ -2,10 +2,29 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.workloads.generator import GeneratorConfig, generate_trace_pair
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_cache(tmp_path_factory):
+    """Point the on-disk trace cache at a session tmp dir.
+
+    Keeps the suite hermetic (no writes to the user's ~/.cache/repro) while
+    still letting repeat fetches within one session hit the disk cache.
+    """
+    root = tmp_path_factory.mktemp("trace-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

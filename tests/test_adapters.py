@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import deployment as dep
@@ -39,7 +38,6 @@ def test_load_basic(vmtable):
 
 def test_censoring(vmtable):
     store = load_azure_public_vm_table(vmtable)
-    vms = {vm.service: vm for vm in store.vms()}
     censored = [vm for vm in store.vms() if not vm.completed]
     # vmB (empty deleted) and vmD (deleted at exactly the window edge).
     assert len(censored) == 2

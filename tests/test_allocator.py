@@ -120,7 +120,7 @@ def test_down_node_not_used():
 
 def test_release_decrements_rack_count():
     service = make_service(racks=2, nodes=2, clusters=1, regions=("a",))
-    node = service.allocate(1, 2, 8, region="a", deployment_id=5, subscription_id=1)
+    service.allocate(1, 2, 8, region="a", deployment_id=5, subscription_id=1)
     assert service.deployment_rack_spread(5) == 1
     service.release(1, deployment_id=5)
     assert service.deployment_rack_spread(5) == 0

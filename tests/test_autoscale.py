@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.cloud.autoscale import Autoscaler, diurnal_demand
 from repro.cloud.entities import RegionSpec, TopologySpec, build_topology

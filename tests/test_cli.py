@@ -59,3 +59,49 @@ def test_validate_command(capsys):
     out = capsys.readouterr().out
     assert "Calibration scorecard" in out
     assert code == 0, out
+
+
+def test_experiments_manifest_and_exit_gate(tmp_path, capsys):
+    """Failing shape checks must surface as a nonzero exit plus manifest rows.
+
+    Scale 0.05 is deliberately too thin for ~5 checks, so this exercises
+    the CI gate path: exit code 1, `passed: false` rows in the manifest.
+    """
+    from repro.experiments.config import clear_trace_cache
+    from repro.experiments.runner import load_manifest
+
+    clear_trace_cache()
+    manifest_path = tmp_path / "manifest.json"
+    code = main(
+        [
+            "experiments", "--seed", "7", "--scale", "0.05", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(manifest_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "Reproduced" in out
+    manifest = load_manifest(manifest_path)
+    assert manifest["totals"]["failed"] > 0
+    assert any(not row["passed"] for row in manifest["experiments"])
+
+
+def test_experiments_manifest_default_path_next_to_md(tmp_path):
+    """Bare --manifest lands next to the EXPERIMENTS.md being written."""
+    from repro.experiments.config import clear_trace_cache
+    from repro.experiments.runner import load_manifest
+
+    clear_trace_cache()
+    md_path = tmp_path / "EXPERIMENTS.md"
+    main(
+        [
+            "experiments", "--seed", "7", "--scale", "0.05",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--write-md", str(md_path), "--manifest",
+        ]
+    )
+    assert md_path.exists()
+    manifest = load_manifest(tmp_path / "manifest.json")
+    assert manifest["config"]["scale"] == 0.05
+    assert len(manifest["experiments"]) == manifest["totals"]["experiments"]

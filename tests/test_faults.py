@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.cloud.entities import RegionSpec, TopologySpec, build_topology
 from repro.cloud.faults import FailureInjector, plan_migrations

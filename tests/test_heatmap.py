@@ -58,6 +58,14 @@ def test_empty_raises():
         build_heatmap(np.array([]), np.array([]))
 
 
+def test_near_degenerate_span_keeps_edges_increasing():
+    # A data span of a few ulps must not collapse into duplicate edges.
+    x = np.array([0.1, np.nextafter(0.1, 1.0)])
+    hm = build_heatmap(x, x, bins=2)
+    assert np.all(np.diff(hm.x_edges) > 0)
+    assert np.all(np.diff(hm.y_edges) > 0)
+
+
 def test_corner_mass_detects_extremes():
     # Concentrated center vs mass pushed to corners.
     center_x = np.full(100, 10.0)

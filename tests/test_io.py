@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.telemetry.io import load_trace, save_trace
 from repro.telemetry.schema import (
@@ -109,9 +111,6 @@ def test_generated_trace_round_trip(small_trace, tmp_path):
 # ----------------------------------------------------------------------
 # property-based round trips
 # ----------------------------------------------------------------------
-from hypothesis import given, settings
-from hypothesis import strategies as st
-
 finite_time = st.floats(min_value=-1e6, max_value=604800.0, allow_nan=False)
 
 

@@ -152,8 +152,6 @@ class TestDrift:
         assert kb.diff(kb) == []
 
     def test_presence_drift(self, kb):
-        from repro.core.knowledge_base import KnowledgeDrift
-
         empty = WorkloadKnowledgeBase()
         drifts = kb.diff(empty)
         assert len(drifts) == len(kb)
@@ -162,8 +160,6 @@ class TestDrift:
         assert all(d.after == "appeared" for d in reverse)
 
     def test_field_drift_detected(self, kb):
-        import copy
-
         record = kb.subscriptions()[0]
         newer = WorkloadKnowledgeBase.from_json(kb.to_json())
         changed = newer.get(record.subscription_id)

@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.deployment import offering_mix
 from repro.telemetry.schema import Cloud
 from repro.timebase import SECONDS_PER_DAY
-from repro.workloads.generator import GeneratorConfig, TraceGenerator, generate_trace_pair
+from repro.workloads.generator import GeneratorConfig, TraceGenerator
 from repro.workloads.profiles import private_profile, public_profile
 from repro.workloads.services import PRIVATE_SERVICES
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.knowledge_base import (
@@ -13,7 +12,6 @@ from repro.core.knowledge_base import (
     WorkloadKnowledgeBase,
 )
 from repro.management.orchestrator import (
-    OptimizationReport,
     PolicyOutcome,
     WorkloadAwareOrchestrator,
 )

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.render import bar, cdf_strip, mix_table, side_by_side, sparkline
 

@@ -50,5 +50,6 @@ def test_study_cli_markdown_flag(tmp_path, capsys):
 
     out = tmp_path / "study.md"
     code = main(["study", "--seed", "3", "--scale", "0.12", "--markdown", str(out)])
+    assert code == 0
     assert out.exists()
     assert "markdown report written" in capsys.readouterr().out

@@ -10,7 +10,6 @@ from repro.management.spot import (
     SpotEvictionModel,
     SpotEvictionPredictor,
 )
-from repro.telemetry.schema import Cloud
 from repro.telemetry.store import TraceStore
 
 

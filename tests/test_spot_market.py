@@ -139,7 +139,6 @@ class TestEndToEndWithPredictor:
         platform = make_platform(nodes=4, cores=16)  # 64 cores
         market = SpotMarket(platform, pressure_threshold=0.6)
         sim = Simulator()
-        rng = np.random.default_rng(5)
 
         # Churn of spot VMs under oscillating on-demand load.
         def spawn_spot(now: float) -> None:

@@ -14,7 +14,6 @@ from repro.analysis.timeseries import (
     moving_average,
     percentile_bands,
 )
-from repro.timebase import SECONDS_PER_DAY, SECONDS_PER_HOUR
 
 
 class TestHourlyEventCounts:

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.workloads.validation import (
     AnchorResult,
-    CalibrationScorecard,
     validate_trace,
 )
 
