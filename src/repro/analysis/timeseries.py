@@ -56,23 +56,49 @@ def hourly_occupancy(
     if starts.shape != ends.shape:
         raise ValueError(f"shape mismatch: {starts.shape} vs {ends.shape}")
     ends = np.where(np.isnan(ends), np.inf, ends)
+    # An inverted interval (end < start) is never alive; clamping it to the
+    # empty interval [start, start) preserves that under the counting below.
+    ends = np.maximum(ends, starts)
     n_hours = int(np.ceil(duration / SECONDS_PER_HOUR))
     boundaries = start + SECONDS_PER_HOUR * np.arange(n_hours, dtype=np.float64)
-    # alive at boundary b  <=>  start <= b < end
-    alive = (starts[None, :] <= boundaries[:, None]) & (ends[None, :] > boundaries[:, None])
-    return alive.sum(axis=1)
+    # alive at boundary b  <=>  start <= b < end, so the count at b is
+    # #{start <= b} - #{end <= b}.  Two sorts plus two searchsorted passes
+    # keep this O((n_vms + n_hours) log n_vms) time and O(n_vms + n_hours)
+    # memory; the dense (n_hours, n_vms) boolean matrix this replaces was
+    # O(n_hours * n_vms) and dominated the fig3b footprint at scale.
+    # np.sort (not .sort()) -- `starts` may alias the caller's array.
+    n_started = np.searchsorted(np.sort(starts), boundaries, side="right")
+    n_ended = np.searchsorted(np.sort(ends), boundaries, side="right")
+    return n_started - n_ended
 
 
 def moving_average(values: np.ndarray, window: int) -> np.ndarray:
-    """Centered moving average with edge shrinkage (output length preserved)."""
+    """Centered moving average with edge shrinkage (output length preserved).
+
+    Even windows use the classic centered-MA kernel ``[0.5, 1, ..., 1, 0.5]``
+    of length ``window + 1``: an even box has no middle element, so a plain
+    even-length kernel is forced half a step off center (``np.convolve``
+    breaks the tie toward the past), which skews every smoothed value and
+    makes the output depend on the direction of time.  The half-weight
+    endpoints restore an odd, symmetric kernel with the same total weight,
+    so ``moving_average(x[::-1], w) == moving_average(x, w)[::-1]``.
+    """
     values = np.asarray(values, dtype=np.float64).ravel()
     if window < 1:
         raise ValueError("window must be >= 1")
     if window == 1 or values.size == 0:
         return values.copy()
-    kernel = np.ones(window)
-    sums = np.convolve(values, kernel, mode="same")
-    norm = np.convolve(np.ones_like(values), kernel, mode="same")
+    if window % 2:
+        kernel = np.ones(window)
+    else:
+        kernel = np.ones(window + 1)
+        kernel[0] = kernel[-1] = 0.5
+    # mode="full" sliced at the kernel midpoint is mode="same" for odd
+    # kernels, but stays well-defined when the kernel outgrows the signal.
+    half = (kernel.size - 1) // 2
+    n = values.size
+    sums = np.convolve(values, kernel, mode="full")[half : half + n]
+    norm = np.convolve(np.ones(n), kernel, mode="full")[half : half + n]
     return sums / norm
 
 
@@ -104,13 +130,27 @@ def percentile_bands(
     population ``series_matrix[:, t]``.  This is exactly the construction of
     Fig. 6: the distribution of CPU utilization across VMs, tracked over
     time.
+
+    NaN samples (gaps in a VM's telemetry) are excluded per time step rather
+    than poisoning the whole column: a single missing reading used to turn
+    every percentile at that timestamp into NaN.  A column where *every*
+    series is NaN has no distribution to summarize and stays NaN in all
+    bands (no RuntimeWarning is emitted for it).
     """
     matrix = np.asarray(series_matrix, dtype=np.float64)
     if matrix.ndim != 2:
         raise ValueError("series_matrix must be 2-D (series x time)")
     if matrix.shape[0] == 0:
         raise ValueError("need at least one series")
-    bands = np.percentile(matrix, percentiles, axis=0)
+    if np.isnan(matrix).any():
+        bands = np.full((len(percentiles), matrix.shape[1]), np.nan)
+        has_data = ~np.all(np.isnan(matrix), axis=0)
+        if has_data.any():
+            bands[:, has_data] = np.nanpercentile(
+                matrix[:, has_data], percentiles, axis=0
+            )
+    else:
+        bands = np.percentile(matrix, percentiles, axis=0)
     return PercentileBands(
         percentiles=tuple(float(p) for p in percentiles),
         bands=bands,

@@ -6,6 +6,8 @@ Subcommands::
     repro-cloud study       [--trace trace_dir | --seed 7 --scale 0.3]
     repro-cloud experiments [--jobs 4] [--manifest [PATH]] [--cache-dir DIR]
                             [--write-md EXPERIMENTS.md] [--seed 7 --scale 0.3]
+                            [--metrics PATH] [--profile [PATH]]
+                            (alias: repro-cloud run ...)
     repro-cloud kb          [--trace trace_dir] [--out kb.json]
     repro-cloud case-study  [--seed 11]
 
@@ -92,6 +94,8 @@ def _manifest_path(args: argparse.Namespace) -> Path | None:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    import json
+
     from repro.experiments.config import ExperimentConfig
     from repro.experiments.runner import (
         render_report,
@@ -99,14 +103,26 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         write_experiments_md,
         write_manifest,
     )
+    from repro.obs import maybe_profile
 
     config = ExperimentConfig(seed=args.seed, scale=args.scale)
-    report = run_pipeline(
-        config,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-    )
+    with maybe_profile(args.profile):
+        report = run_pipeline(
+            config,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+    if args.profile:
+        print(
+            f"profile written to {args.profile} "
+            "(inspect with: python -m pstats ...)",
+            file=sys.stderr,
+        )
+    if args.metrics:
+        metrics_path = Path(args.metrics)
+        metrics_path.write_text(json.dumps(report.metrics, indent=2) + "\n")
+        print(f"wrote {metrics_path}")
     results = report.results
     print(render_report(results))
     trace = report.trace_info
@@ -247,7 +263,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_study.set_defaults(func=_cmd_study)
 
-    p_exp = sub.add_parser("experiments", help="reproduce every figure/table")
+    p_exp = sub.add_parser(
+        "experiments", aliases=["run"], help="reproduce every figure/table"
+    )
     p_exp.add_argument("--seed", type=int, default=7)
     p_exp.add_argument("--scale", type=float, default=0.3)
     p_exp.add_argument(
@@ -274,6 +292,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--export-dir", type=str, default=None,
         help="export the numeric series behind every figure as CSV files",
+    )
+    p_exp.add_argument(
+        "--metrics", type=str, default=None, metavar="PATH",
+        help="dump the run's metrics snapshot (counters + spans) as JSON",
+    )
+    p_exp.add_argument(
+        "--profile", type=str, nargs="?", const="profile.pstats", default=None,
+        metavar="PATH",
+        help="profile the run with cProfile and write a .pstats artifact "
+        "(default path: profile.pstats)",
     )
     p_exp.set_defaults(func=_cmd_experiments)
 

@@ -16,17 +16,45 @@ Three studies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from itertools import combinations
 
 import numpy as np
 
 from repro.analysis.cdf import EmpiricalCdf
 from repro.analysis.stats import pearson_correlation
+from repro.obs import Counter
 from repro.telemetry.counters import all_node_utilizations, subscription_region_utilization
 from repro.telemetry.schema import Cloud
 from repro.telemetry.store import TraceStore
 from repro.timebase import SECONDS_PER_DAY
+
+#: Pairs dropped because one side was constant (Pearson r undefined).
+_CONSTANT_PAIRS = Counter("correlation.constant_pairs")
+
+
+@dataclass(frozen=True)
+class CorrelationCdf(EmpiricalCdf):
+    """A correlation CDF that accounts for the pairs it could not include.
+
+    Pearson correlation is undefined when either series is constant (zero
+    variance makes the estimator 0/0).  Such pairs cannot contribute a
+    sample, but dropping them *silently* understates how much of the fleet
+    was excluded -- idle VMs pinned at one utilization level are exactly the
+    population a capacity analysis should not lose track of.  The count of
+    dropped pairs therefore travels with the CDF.
+    """
+
+    #: Pairs skipped because Pearson r was undefined (constant series).
+    n_constant_pairs: int = 0
+
+
+def _correlation_cdf(correlations: list[float], n_constant: int) -> CorrelationCdf:
+    """Build the CDF and account for skipped constant pairs."""
+    if n_constant:
+        _CONSTANT_PAIRS.inc(n_constant)
+    cdf = CorrelationCdf.from_samples(np.array(correlations))
+    return replace(cdf, n_constant_pairs=int(n_constant))
 
 
 def node_level_correlation(
@@ -35,7 +63,7 @@ def node_level_correlation(
     *,
     min_alive: float | None = None,
     max_nodes: int | None = None,
-) -> EmpiricalCdf:
+) -> CorrelationCdf:
     """Fig. 7(a): CDF of Pearson(VM utilization, host-node utilization).
 
     "We filter out the trivial case that nodes only host one VM."  VMs must
@@ -54,6 +82,7 @@ def node_level_correlation(
     vms_by_node = store.vms_by_node(cloud=cloud)
 
     correlations: list[float] = []
+    n_constant = 0
     n_nodes = 0
     for node_id in sorted(node_series):
         node_util = node_series[node_id]
@@ -79,9 +108,11 @@ def node_level_correlation(
             )
             if np.isfinite(r):
                 correlations.append(r)
+            else:
+                n_constant += 1
     if not correlations:
         raise ValueError(f"no multi-VM node of {cloud} has usable telemetry")
-    return EmpiricalCdf.from_samples(np.array(correlations))
+    return _correlation_cdf(correlations, n_constant)
 
 
 def region_level_correlation(
@@ -90,7 +121,7 @@ def region_level_correlation(
     *,
     countries: tuple[str, ...] = ("US",),
     min_regions: int = 2,
-) -> EmpiricalCdf:
+) -> CorrelationCdf:
     """Fig. 7(b): CDF of cross-region utilization correlation per subscription.
 
     For each subscription deployed in at least ``min_regions`` of the
@@ -103,6 +134,7 @@ def region_level_correlation(
         if not countries or info.country in countries
     }
     correlations: list[float] = []
+    n_constant = 0
     for sub_id, sub in store.subscriptions.items():
         if sub.cloud != cloud:
             continue
@@ -114,9 +146,11 @@ def region_level_correlation(
             r = pearson_correlation(by_region[a], by_region[b])
             if np.isfinite(r):
                 correlations.append(r)
+            else:
+                n_constant += 1
     if not correlations:
         raise ValueError(f"no multi-region {cloud} subscription with telemetry")
-    return EmpiricalCdf.from_samples(np.array(correlations))
+    return _correlation_cdf(correlations, n_constant)
 
 
 @dataclass(frozen=True)
@@ -161,7 +195,10 @@ def region_agnostic_subscriptions(
             pearson_correlation(by_region[a], by_region[b])
             for a, b in combinations(regions, 2)
         ]
-        pair_correlations = [r for r in pair_correlations if np.isfinite(r)]
+        finite = [r for r in pair_correlations if np.isfinite(r)]
+        if len(finite) < len(pair_correlations):
+            _CONSTANT_PAIRS.inc(len(pair_correlations) - len(finite))
+        pair_correlations = finite
         if not pair_correlations:
             continue
         worst = float(min(pair_correlations))

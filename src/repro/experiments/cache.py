@@ -29,12 +29,17 @@ import shutil
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs import Counter, span
 from repro.telemetry.io import is_trace_dir, load_trace, save_trace_atomic
 from repro.telemetry.store import TraceStore
 from repro.workloads.generator import GENERATOR_VERSION, GeneratorConfig, generate_trace_pair
 
 #: Environment variable overriding the default cache root.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+_HITS = Counter("cache.hit")
+_MISSES = Counter("cache.miss")
+_WRITES = Counter("cache.write")
 
 
 def resolve_cache_dir(cache_dir: str | Path | None = None) -> Path:
@@ -101,10 +106,17 @@ def fetch_trace(
     key = config_hash(config)
     path = trace_cache_path(config, cache_dir)
     if use_cache and is_trace_dir(path):
-        return load_trace(path), TraceCacheInfo(key, str(path), hit=True, source="disk")
-    store = generate_trace_pair(config, workers=workers)
+        _HITS.inc()
+        with span("cache.load", key=key):
+            store = load_trace(path)
+        return store, TraceCacheInfo(key, str(path), hit=True, source="disk")
+    _MISSES.inc()
+    with span("cache.synthesize", key=key):
+        store = generate_trace_pair(config, workers=workers)
     if use_cache:
-        save_trace_atomic(store, path)
+        with span("cache.save", key=key):
+            save_trace_atomic(store, path)
+        _WRITES.inc()
     return store, TraceCacheInfo(key, str(path), hit=False, source="generated")
 
 

@@ -16,12 +16,13 @@ no job count ever re-synthesizes a trace another process already built.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.obs import MetricsScope, drain_spans, mark, span
+from repro.obs.metrics import REGISTRY as _METRICS_REGISTRY
 from repro.experiments import (
     case_study,
     fig1,
@@ -116,7 +117,7 @@ TASKS: dict[str, ExperimentTask] = {task.task_id: task for task in REGISTRY}
 
 @dataclass
 class TaskOutcome:
-    """One executed task: its result plus the timings the manifest records."""
+    """One executed task: its result plus the telemetry the manifest records."""
 
     task_id: str
     result: ExperimentResult
@@ -125,6 +126,11 @@ class TaskOutcome:
     #: Seconds spent fetching the shared trace (0 for self-sufficient tasks;
     #: ~0 once the in-process memo is warm).
     trace_fetch_s: float = 0.0
+    #: Flat span list recorded while this task ran (drained from the
+    #: executing process's collector, so fork-inherited spans never leak in).
+    spans: list[dict] = field(default_factory=list)
+    #: Registry delta (counters/gauges/histograms) scoped to this task.
+    metrics: dict = field(default_factory=dict)
 
 
 def run_task(
@@ -134,24 +140,33 @@ def run_task(
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
 ) -> TaskOutcome:
-    """Execute one registered task (also the entry point for pool workers)."""
+    """Execute one registered task (also the entry point for pool workers).
+
+    The task body runs under a ``task.run`` span and a :class:`MetricsScope`;
+    the resulting span slice and metrics delta travel back to the parent in
+    the outcome, where :func:`execute` merges deltas in registry order.
+    """
     config = config or ExperimentConfig()
     task = TASKS[task_id]
     fetch_s = 0.0
-    if task.uses_shared_trace:
-        t0 = time.perf_counter()
-        store = get_trace(config, cache_dir=cache_dir, use_cache=use_cache)
-        fetch_s = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        result = task.runner(store)
-    else:
-        t0 = time.perf_counter()
-        result = task.runner(config, cache_dir, use_cache)
+    span_mark = mark()
+    with MetricsScope() as scope:
+        if task.uses_shared_trace:
+            with span("task.trace_fetch", task=task_id) as fetch_span:
+                store = get_trace(config, cache_dir=cache_dir, use_cache=use_cache)
+            fetch_s = fetch_span.wall_s
+            with span("task.run", task=task_id) as task_span:
+                result = task.runner(store)
+        else:
+            with span("task.run", task=task_id) as task_span:
+                result = task.runner(config, cache_dir, use_cache)
     return TaskOutcome(
         task_id=task_id,
         result=result,
-        wall_time_s=time.perf_counter() - t0,
+        wall_time_s=task_span.wall_s,
         trace_fetch_s=fetch_s,
+        spans=drain_spans(since=span_mark),
+        metrics=scope.delta,
     )
 
 
@@ -198,4 +213,10 @@ def execute(
         }
         for future in as_completed(futures):
             outcomes[futures[future]] = future.result()
-    return [outcome for outcome in outcomes if outcome is not None]
+    ordered = [outcome for outcome in outcomes if outcome is not None]
+    # Fold worker metric deltas into this process's registry *in registry
+    # order*, not completion order, so the merged totals (and gauge values)
+    # are identical to a serial run of the same task set.
+    for outcome in ordered:
+        _METRICS_REGISTRY.merge(outcome.metrics)
+    return ordered

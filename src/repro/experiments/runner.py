@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import MetricsScope, drain_spans, mark, span
 from repro.experiments import cache, parallel
 from repro.experiments.base import ExperimentResult
 from repro.experiments.cache import TraceCacheInfo
@@ -27,7 +28,12 @@ from repro.workloads.generator import GENERATOR_VERSION
 PAPER_ARTIFACTS = {task.task_id: task.paper_artifact for task in parallel.REGISTRY}
 
 #: Version of the ``manifest.json`` layout; bump on breaking field changes.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 added the ``metrics`` section (counters/gauges/histograms + spans).
+MANIFEST_SCHEMA_VERSION = 2
+
+#: Version of the standalone metrics snapshot layout (``--metrics`` file,
+#: also embedded as the manifest's ``metrics`` section).
+METRICS_SCHEMA_VERSION = 1
 
 _MANIFEST_TOP_KEYS = (
     "schema_version",
@@ -38,8 +44,11 @@ _MANIFEST_TOP_KEYS = (
     "cache",
     "trace",
     "totals",
+    "metrics",
     "experiments",
 )
+
+_METRICS_KEYS = ("schema_version", "counters", "gauges", "histograms", "spans", "tasks")
 _MANIFEST_ROW_KEYS = (
     "id",
     "paper_artifact",
@@ -66,6 +75,11 @@ class RunReport:
         """The experiment results in registry order."""
         return [outcome.result for outcome in self.outcomes]
 
+    @property
+    def metrics(self) -> dict:
+        """The run's metrics snapshot (the manifest's ``metrics`` section)."""
+        return self.manifest.get("metrics", {})
+
 
 def run_pipeline(
     config: ExperimentConfig | None = None,
@@ -74,15 +88,26 @@ def run_pipeline(
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
 ) -> RunReport:
-    """Execute every registered experiment and build the run manifest."""
+    """Execute every registered experiment and build the run manifest.
+
+    The whole run executes under a metrics scope and a span bookmark, so
+    the manifest's ``metrics`` section describes *this* run only -- repeat
+    runs in one process do not bleed into each other.
+    """
     config = config or ExperimentConfig()
     t0 = time.perf_counter()
-    store, trace_info = cache.fetch_trace(
-        config.generator_config(), cache_dir=cache_dir, use_cache=use_cache
-    )
-    prime_trace(config, store)
-    outcomes = parallel.execute(
-        config, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache
+    span_mark = mark()
+    with MetricsScope() as scope:
+        with span("pipeline.trace_fetch"):
+            store, trace_info = cache.fetch_trace(
+                config.generator_config(), cache_dir=cache_dir, use_cache=use_cache
+            )
+        prime_trace(config, store)
+        outcomes = parallel.execute(
+            config, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache
+        )
+    metrics = build_metrics_snapshot(
+        outcomes, registry_delta=scope.delta, spans=drain_spans(since=span_mark)
     )
     manifest = build_manifest(
         outcomes,
@@ -92,6 +117,7 @@ def run_pipeline(
         cache_dir=cache_dir,
         use_cache=use_cache,
         elapsed_s=time.perf_counter() - t0,
+        metrics=metrics,
     )
     return RunReport(
         config=config, outcomes=outcomes, trace_info=trace_info, manifest=manifest
@@ -111,6 +137,41 @@ def run_all(
     ).results
 
 
+def build_metrics_snapshot(
+    outcomes: list[TaskOutcome],
+    *,
+    registry_delta: dict | None = None,
+    spans: list[dict] | None = None,
+) -> dict:
+    """Assemble the run's observability snapshot.
+
+    ``registry_delta`` is the pipeline-scoped counters/gauges/histograms
+    delta (worker deltas already merged in registry order by
+    :func:`repro.experiments.parallel.execute`); ``spans`` are the
+    parent-process spans (trace fetch, cache load/save, synthesis).  Each
+    task contributes its own span slice and metrics delta.  Per-task
+    ``wall_time_s`` here is rounded exactly like the manifest's experiment
+    rows, so the two always agree.
+    """
+    registry_delta = registry_delta or {}
+    return {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "counters": registry_delta.get("counters", {}),
+        "gauges": registry_delta.get("gauges", {}),
+        "histograms": registry_delta.get("histograms", {}),
+        "spans": spans or [],
+        "tasks": {
+            outcome.task_id: {
+                "wall_time_s": round(outcome.wall_time_s, 3),
+                "trace_fetch_s": round(outcome.trace_fetch_s, 3),
+                "spans": outcome.spans,
+                "metrics": outcome.metrics,
+            }
+            for outcome in outcomes
+        },
+    }
+
+
 def build_manifest(
     outcomes: list[TaskOutcome],
     config: ExperimentConfig,
@@ -120,6 +181,7 @@ def build_manifest(
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
     elapsed_s: float = 0.0,
+    metrics: dict | None = None,
 ) -> dict:
     """The machine-readable record of one pipeline run."""
     experiments = []
@@ -158,6 +220,7 @@ def build_manifest(
             "failed": len(outcomes) - passed,
             "wall_time_s": round(elapsed_s, 3),
         },
+        "metrics": metrics if metrics is not None else build_metrics_snapshot(outcomes),
         "experiments": experiments,
     }
 
@@ -194,6 +257,29 @@ def validate_manifest(manifest: dict) -> dict:
         raise ValueError("manifest totals are inconsistent")
     if totals["experiments"] != len(rows):
         raise ValueError("manifest totals disagree with the experiment rows")
+    metrics = manifest["metrics"]
+    if not isinstance(metrics, dict):
+        raise ValueError("manifest 'metrics' must be an object")
+    metrics_missing = [key for key in _METRICS_KEYS if key not in metrics]
+    if metrics_missing:
+        raise ValueError(
+            f"manifest metrics missing key(s): {', '.join(metrics_missing)}"
+        )
+    if metrics["schema_version"] != METRICS_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported metrics schema_version {metrics['schema_version']!r} "
+            f"(expected {METRICS_SCHEMA_VERSION})"
+        )
+    task_metrics = metrics["tasks"]
+    for row in rows:
+        entry = task_metrics.get(row["id"])
+        if entry is None:
+            raise ValueError(f"manifest metrics missing task entry {row['id']!r}")
+        if entry["wall_time_s"] != row["wall_time_s"]:
+            raise ValueError(
+                f"metrics wall time for {row['id']!r} disagrees with its "
+                "experiment row"
+            )
     return manifest
 
 

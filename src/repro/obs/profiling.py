@@ -1,0 +1,39 @@
+"""Opt-in deterministic profiling for pipeline runs.
+
+:func:`maybe_profile` wraps a block in :mod:`cProfile` only when a target
+path is given, so the CLI can expose ``--profile`` without taxing normal
+runs.  The resulting ``.pstats`` artifact loads with the standard library::
+
+    import pstats
+    pstats.Stats("profile.pstats").sort_stats("cumulative").print_stats(25)
+
+Profiling covers the calling process only; ``--jobs N`` worker processes
+are invisible to it (use the per-task spans in the run manifest to see
+where workers spend their time).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+
+@contextmanager
+def maybe_profile(path: str | Path | None) -> Iterator[object | None]:
+    """Profile the block into ``path`` (``.pstats``), or no-op when falsy."""
+    if not path:
+        yield None
+        return
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        out = Path(path)
+        if out.parent != Path("."):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(str(out))

@@ -20,6 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import Counter, span
 from repro.telemetry.schema import (
     Cloud,
     ClusterInfo,
@@ -36,6 +37,16 @@ from repro.telemetry.store import TraceMetadata, TraceStore
 #: Files every saved trace directory must contain (``utilization.npz`` is
 #: optional: traces generated without telemetry omit it).
 TRACE_FILES = ("metadata.json", "topology.json", "vms.jsonl", "events.jsonl")
+
+_BYTES_WRITTEN = Counter("io.bytes_written")
+_BYTES_READ = Counter("io.bytes_read")
+_TRACES_WRITTEN = Counter("io.traces_written")
+_TRACES_READ = Counter("io.traces_read")
+
+
+def _trace_bytes(directory: Path) -> int:
+    """Total on-disk size of a trace directory's files."""
+    return sum(p.stat().st_size for p in directory.iterdir() if p.is_file())
 
 
 def is_trace_dir(directory: str | Path) -> bool:
@@ -69,7 +80,14 @@ def save_trace_atomic(store: TraceStore, directory: str | Path) -> Path:
 
 def save_trace(store: TraceStore, directory: str | Path) -> Path:
     """Write ``store`` to ``directory`` (created if missing); returns the path."""
-    directory = Path(directory)
+    with span("io.save_trace", vms=len(store)):
+        directory = _save_trace(store, Path(directory))
+    _TRACES_WRITTEN.inc()
+    _BYTES_WRITTEN.inc(_trace_bytes(directory))
+    return directory
+
+
+def _save_trace(store: TraceStore, directory: Path) -> Path:
     directory.mkdir(parents=True, exist_ok=True)
 
     meta = {
@@ -109,6 +127,14 @@ def save_trace(store: TraceStore, directory: str | Path) -> Path:
 def load_trace(directory: str | Path) -> TraceStore:
     """Read a trace previously written by :func:`save_trace`."""
     directory = Path(directory)
+    with span("io.load_trace", path=str(directory)):
+        store = _load_trace(directory)
+    _TRACES_READ.inc()
+    _BYTES_READ.inc(_trace_bytes(directory))
+    return store
+
+
+def _load_trace(directory: Path) -> TraceStore:
     meta = json.loads((directory / "metadata.json").read_text())
     store = TraceStore(
         TraceMetadata(

@@ -32,6 +32,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.obs import Counter
 from repro.timebase import SAMPLE_PERIOD, SECONDS_PER_WEEK
 from repro.telemetry.schema import (
     Cloud,
@@ -57,6 +58,10 @@ class TraceMetadata:
     def n_samples(self) -> int:
         """Number of utilization samples spanning the window."""
         return int(self.duration // self.sample_period)
+
+
+_BLOCKS_ADDED = Counter("store.utilization_blocks")
+_BLOCK_BYTES = Counter("store.utilization_bytes")
 
 
 def _event_order(event: EventRecord) -> tuple[float, str, int]:
@@ -195,6 +200,8 @@ class TraceStore:
         self._util_blocks.append(block)
         for row, vm_id in enumerate(vm_ids):
             self._util_index[vm_id] = (block_idx, row)
+        _BLOCKS_ADDED.inc()
+        _BLOCK_BYTES.inc(block.nbytes)
 
     # ------------------------------------------------------------------
     # queries

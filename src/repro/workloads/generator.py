@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import Counter, Histogram, span
 from repro.cloud.allocator import PlacementPolicy
 from repro.cloud.autoscale import Autoscaler, diurnal_demand
 from repro.cloud.spot_market import SpotMarket
@@ -71,6 +72,12 @@ GLOBAL_CLOCK_TZ = -8.0
 #: whenever a change alters the generated trace for an unchanged config —
 #: stale cached traces are then invalidated automatically.
 GENERATOR_VERSION = "1"
+
+_VMS_GENERATED = Counter("generator.vms")
+_EVENTS_GENERATED = Counter("generator.events")
+_SERIES_SYNTHESIZED = Counter("generator.telemetry_series")
+#: Size distribution of periodic synthesis groups (deterministic per config).
+_GROUP_SIZES = Histogram("generator.group_size", bounds=(1, 4, 16, 64, 256, 1024, 4096))
 
 
 @dataclass(frozen=True)
@@ -138,6 +145,15 @@ class TraceGenerator:
     # ------------------------------------------------------------------
     def generate(self) -> TraceStore:
         """Run the full pipeline and return the trace."""
+        with span(
+            "generate", cloud=str(self.profile.cloud), scale=self.config.scale
+        ):
+            store = self._generate()
+        _VMS_GENERATED.inc(len(store))
+        _EVENTS_GENERATED.inc(store.summary()["events"])
+        return store
+
+    def _generate(self) -> TraceStore:
         profile = self.profile.scaled(self.config.scale)
         store = TraceStore(
             TraceMetadata(
@@ -178,10 +194,12 @@ class TraceGenerator:
         if profile.autoscale is not None:
             self._install_autoscalers(profile, platform, simulator)
 
-        simulator.run(until=self.config.duration)
+        with span("generate.simulate", cloud=str(profile.cloud)):
+            simulator.run(until=self.config.duration)
 
         if self.config.synthesize_utilization:
-            self._synthesize_utilization(profile, store)
+            with span("generate.synthesize", cloud=str(profile.cloud), vms=len(store)):
+                self._synthesize_utilization(profile, store)
         return store
 
     # ------------------------------------------------------------------
@@ -539,58 +557,67 @@ class TraceGenerator:
             view += eps
 
         if stable_vms:
-            view = group_slice(len(stable_vms))
-            levels = np.array([sub.stable_level for _, sub, _ in stable_vms])
-            levels = np.clip(
-                levels * rng.lognormal(0.0, 0.2, size=len(stable_vms)), 0.02, 0.6
-            )
-            stable_signal_block(times, levels, wobble=0.01, rng=fill_rng, out=view)
-            add_noise(view, 0.006)
-            finish_group(view, stable_vms)
+            with span("synthesize.stable", vms=len(stable_vms)):
+                view = group_slice(len(stable_vms))
+                levels = np.array([sub.stable_level for _, sub, _ in stable_vms])
+                levels = np.clip(
+                    levels * rng.lognormal(0.0, 0.2, size=len(stable_vms)), 0.02, 0.6
+                )
+                stable_signal_block(times, levels, wobble=0.01, rng=fill_rng, out=view)
+                add_noise(view, 0.006)
+                finish_group(view, stable_vms)
         if irregular_vms:
-            view = group_slice(len(irregular_vms))
-            irregular_signal_block(times, len(irregular_vms), rng=rng, out=view)
-            add_noise(view, 0.01)
-            finish_group(view, irregular_vms)
+            with span("synthesize.irregular", vms=len(irregular_vms)):
+                view = group_slice(len(irregular_vms))
+                irregular_signal_block(times, len(irregular_vms), rng=rng, out=view)
+                add_noise(view, 0.01)
+                finish_group(view, irregular_vms)
 
         # All periodic groups on the same sample grid share per-timezone
         # clock arrays; each (subscription, pattern, tz) group still gets
         # its own phase-jittered signal.
         clock_cache: dict[float, tuple[np.ndarray, np.ndarray]] = {}
         signal_cache: dict[tuple, np.ndarray] = {}
-        for key, group in periodic.items():
-            _, pattern, _ = key
-            _, sub, tz = group[0]
-            shared = signal_cache.get(key)
-            if shared is None:
-                clock = clock_cache.get(tz)
-                if clock is None:
-                    clock = (
-                        hour_of_day(times, tz_offset_hours=tz),
-                        day_of_week(times, tz_offset_hours=tz),
-                    )
-                    clock_cache[tz] = clock
-                shared = self._shared_signal(
-                    pattern, sub, tz, times, clock=clock
-                ).astype(np.float32)
-                signal_cache[key] = shared
-            noise = sub.archetype.noise
-            amplitudes = np.clip(
-                sub.amplitude_median
-                * rng.lognormal(0.0, noise.scale_sigma + 0.35, size=len(group)),
-                0.1,
-                1.5,
-            )
-            view = group_slice(len(group))
-            vm_series_block_from_signal(
-                shared,
-                amplitudes,
-                additive_sigma=noise.additive_sigma,
-                rng=fill_rng,
-                out=view,
-            )
-            finish_group(view, group)
+        with span(
+            "synthesize.periodic",
+            groups=len(periodic),
+            vms=sum(len(group) for group in periodic.values()),
+        ):
+            for key, group in periodic.items():
+                _GROUP_SIZES.observe(len(group))
+                _, pattern, _ = key
+                _, sub, tz = group[0]
+                shared = signal_cache.get(key)
+                if shared is None:
+                    clock = clock_cache.get(tz)
+                    if clock is None:
+                        clock = (
+                            hour_of_day(times, tz_offset_hours=tz),
+                            day_of_week(times, tz_offset_hours=tz),
+                        )
+                        clock_cache[tz] = clock
+                    shared = self._shared_signal(
+                        pattern, sub, tz, times, clock=clock
+                    ).astype(np.float32)
+                    signal_cache[key] = shared
+                noise = sub.archetype.noise
+                amplitudes = np.clip(
+                    sub.amplitude_median
+                    * rng.lognormal(0.0, noise.scale_sigma + 0.35, size=len(group)),
+                    0.1,
+                    1.5,
+                )
+                view = group_slice(len(group))
+                vm_series_block_from_signal(
+                    shared,
+                    amplitudes,
+                    additive_sigma=noise.additive_sigma,
+                    rng=fill_rng,
+                    out=view,
+                )
+                finish_group(view, group)
 
+        _SERIES_SYNTHESIZED.inc(len(ordered))
         store.add_utilization_block([vm.vm_id for vm, _, _ in ordered], block)
 
     def _shared_signal(
@@ -635,6 +662,7 @@ class TraceGenerator:
                 series, times, created_at=vm.created_at, ended_at=vm.ended_at
             )
             store.add_utilization(vm.vm_id, np.clip(series, 0.0, 1.0))
+            _SERIES_SYNTHESIZED.inc()
 
     def _vm_series(
         self,

@@ -105,3 +105,51 @@ def test_experiments_manifest_default_path_next_to_md(tmp_path):
     manifest = load_manifest(tmp_path / "manifest.json")
     assert manifest["config"]["scale"] == 0.05
     assert len(manifest["experiments"]) == manifest["totals"]["experiments"]
+
+
+def test_experiments_metrics_snapshot_matches_manifest(tmp_path):
+    """--metrics dumps the run snapshot; per-task walls must match the manifest."""
+    from repro.experiments.config import clear_trace_cache
+    from repro.experiments.runner import METRICS_SCHEMA_VERSION, load_manifest
+
+    clear_trace_cache()
+    manifest_path = tmp_path / "manifest.json"
+    metrics_path = tmp_path / "metrics.json"
+    main(
+        [
+            "run", "--seed", "7", "--scale", "0.05", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(manifest_path),
+            "--metrics", str(metrics_path),
+        ]
+    )
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["schema_version"] == METRICS_SCHEMA_VERSION
+    counters = metrics["counters"]
+    assert counters.get("cache.hit", 0) + counters.get("cache.miss", 0) >= 1
+    manifest = load_manifest(manifest_path)
+    assert manifest["metrics"] == metrics
+    rows = {row["id"]: row for row in manifest["experiments"]}
+    assert set(metrics["tasks"]) == set(rows)
+    for task_id, task in metrics["tasks"].items():
+        assert task["wall_time_s"] == rows[task_id]["wall_time_s"]
+        assert any(s["name"] == "task.run" for s in task["spans"])
+
+
+def test_experiments_profile_writes_pstats(tmp_path):
+    import pstats
+
+    from repro.experiments.config import clear_trace_cache
+
+    clear_trace_cache()
+    profile_path = tmp_path / "run.pstats"
+    main(
+        [
+            "experiments", "--seed", "7", "--scale", "0.05",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--profile", str(profile_path),
+        ]
+    )
+    assert profile_path.exists()
+    stats = pstats.Stats(str(profile_path))
+    assert stats.total_calls > 0

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import correlation as corr
+from repro.obs import MetricsScope
 from repro.telemetry.schema import Cloud, NodeInfo, RegionInfo, SubscriptionInfo
 from repro.telemetry.store import TraceStore
 from tests.test_store import make_vm
@@ -69,6 +70,60 @@ class TestNodeLevel:
         private = corr.node_level_correlation(medium_trace, Cloud.PRIVATE)
         public = corr.node_level_correlation(medium_trace, Cloud.PUBLIC)
         assert private.median > public.median + 0.2
+
+    def test_no_constant_pairs_reports_zero(self, correlated_store):
+        cdf = corr.node_level_correlation(correlated_store, Cloud.PRIVATE)
+        assert cdf.n_constant_pairs == 0
+
+
+class TestConstantPairAccounting:
+    @pytest.fixture()
+    def store_with_constant_vm(self, correlated_store):
+        """Add an always-idle VM to the multi-VM node of correlated_store."""
+        n = correlated_store.metadata.n_samples
+        correlated_store.add_vm(
+            make_vm(6, node_id=0, subscription_id=100, region="us-east")
+        )
+        correlated_store.add_utilization(6, np.full(n, 0.25))
+        return correlated_store
+
+    def test_node_level_counts_constant_pairs(self, store_with_constant_vm):
+        with MetricsScope() as scope:
+            cdf = corr.node_level_correlation(store_with_constant_vm, Cloud.PRIVATE)
+        # The idle VM's Pearson r is undefined (zero variance) -- it is
+        # skipped from the CDF but accounted for, not silently dropped.
+        assert cdf.n_constant_pairs == 1
+        assert cdf.n_samples == 4
+        assert scope.delta["counters"]["correlation.constant_pairs"] == 1.0
+
+    def test_region_level_counts_constant_pairs(self, correlated_store):
+        n = correlated_store.metadata.n_samples
+        # Subscription 102 deploys a constant-load VM in two US regions, so
+        # its single region pair has undefined correlation.
+        for vm_id, region in ((7, "us-east"), (8, "us-west")):
+            correlated_store.add_vm(
+                make_vm(vm_id, node_id=0, subscription_id=102, region=region)
+            )
+            correlated_store.add_utilization(vm_id, np.full(n, 0.5))
+        correlated_store.add_subscription(
+            SubscriptionInfo(
+                subscription_id=102,
+                cloud=Cloud.PRIVATE,
+                service="idle",
+                regions=("us-east", "us-west"),
+            )
+        )
+        with MetricsScope() as scope:
+            cdf = corr.region_level_correlation(correlated_store, Cloud.PRIVATE)
+        assert cdf.n_constant_pairs == 1
+        assert cdf.n_samples == 1  # subscription 100's us-east/us-west pair
+        assert scope.delta["counters"]["correlation.constant_pairs"] == 1.0
+
+    def test_result_is_correlation_cdf(self, correlated_store):
+        cdf = corr.node_level_correlation(correlated_store, Cloud.PRIVATE)
+        assert isinstance(cdf, corr.CorrelationCdf)
+        # Still a fully functional EmpiricalCdf.
+        assert 0.0 <= cdf.evaluate(1.0) <= 1.0
 
 
 class TestRegionLevel:

@@ -1,0 +1,249 @@
+"""Tests for the observability layer: spans, metrics registry, profiling."""
+
+from __future__ import annotations
+
+import pstats
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsScope,
+    diff_snapshots,
+    drain_spans,
+    export_spans,
+    mark,
+    maybe_profile,
+    reset_spans,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_spans():
+    reset_spans()
+    yield
+    reset_spans()
+
+
+class TestSpans:
+    def test_nesting_records_parent_and_depth(self):
+        with span("outer", kind="test"):
+            with span("inner"):
+                pass
+            with span("sibling"):
+                pass
+        spans = export_spans()
+        by_name = {row["name"]: row for row in spans}
+        assert [row["name"] for row in spans] == ["outer", "inner", "sibling"]
+        assert by_name["outer"]["parent"] is None
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["outer"]["attrs"] == {"kind": "test"}
+        for child in ("inner", "sibling"):
+            assert by_name[child]["parent"] == by_name["outer"]["index"]
+            assert by_name[child]["depth"] == 1
+
+    def test_wall_time_measured_and_contains_children(self):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                # Enough work to register on perf_counter.
+                sum(range(10_000))
+        assert inner.wall_s > 0
+        assert outer.wall_s >= inner.wall_s
+
+    def test_record_closed_after_block(self):
+        with span("s") as record:
+            assert not record.closed
+        assert record.closed
+
+    def test_exception_still_closes_span(self):
+        with pytest.raises(RuntimeError):
+            with span("failing"):
+                raise RuntimeError("boom")
+        (row,) = export_spans()
+        assert row["name"] == "failing"
+        assert row["wall_s"] >= 0
+        # The stack unwound: a new span starts back at depth 0.
+        with span("after"):
+            pass
+        assert export_spans()[-1]["depth"] == 0
+
+    def test_export_since_rebases_indexes(self):
+        with span("before"):
+            pass
+        bookmark = mark()
+        with span("a"):
+            with span("b"):
+                pass
+        exported = export_spans(since=bookmark)
+        assert [row["name"] for row in exported] == ["a", "b"]
+        assert exported[0]["index"] == 0
+        assert exported[0]["parent"] is None
+        assert exported[1]["parent"] == 0
+
+    def test_parent_outside_slice_reported_as_none(self):
+        with span("outer"):
+            bookmark = mark()
+            with span("inner"):
+                pass
+            exported = export_spans(since=bookmark)
+        assert exported[0]["name"] == "inner"
+        assert exported[0]["parent"] is None
+        assert exported[0]["depth"] == 1  # depth is absolute, parent re-based
+
+    def test_drain_removes_spans(self):
+        with span("keep"):
+            pass
+        bookmark = mark()
+        with span("drop"):
+            pass
+        drained = drain_spans(since=bookmark)
+        assert [row["name"] for row in drained] == ["drop"]
+        assert [row["name"] for row in export_spans()] == ["keep"]
+
+    def test_drain_refuses_open_spans(self):
+        bookmark = mark()
+        with span("open"):
+            with pytest.raises(RuntimeError, match="still open"):
+                drain_spans(since=bookmark)
+
+
+class TestMetricsRegistry:
+    def test_counter_handle(self):
+        registry = MetricsRegistry()
+        counter = Counter("cache.hit", registry=registry)
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3.0
+        assert registry.snapshot()["counters"] == {"cache.hit": 3.0}
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = Gauge("pool.size", registry=registry)
+        assert gauge.value is None
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        hist = Histogram("latency", bounds=(1.0, 10.0), registry=registry)
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        snap = registry.snapshot()["histograms"]["latency"]
+        assert snap["bounds"] == [1.0, 10.0]
+        # bucket i holds values <= bounds[i]; the last bucket is +inf overflow
+        assert snap["counts"] == [2, 1, 1]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(106.5)
+
+    def test_snapshot_keys_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("z")
+        registry.inc("a")
+        assert list(registry.snapshot()["counters"]) == ["a", "z"]
+
+    def test_diff_snapshots_only_changed_series(self):
+        registry = MetricsRegistry()
+        registry.inc("stable", 5)
+        before = registry.snapshot()
+        registry.inc("stable", 0)  # no change
+        registry.inc("active", 2)
+        registry.observe("h", 0.2)
+        delta = diff_snapshots(before, registry.snapshot())
+        assert delta["counters"] == {"active": 2.0}
+        assert delta["histograms"]["h"]["count"] == 1
+
+    def test_merge_is_additive_for_counters_and_histograms(self):
+        parent = MetricsRegistry()
+        parent.inc("n", 1)
+        parent.observe("h", 0.2)
+        delta = {
+            "counters": {"n": 2.0},
+            "gauges": {"g": 7.0},
+            "histograms": {
+                "h": {
+                    "bounds": list(parent.snapshot()["histograms"]["h"]["bounds"]),
+                    "counts": [1] + [0] * len(
+                        parent.snapshot()["histograms"]["h"]["bounds"]
+                    ),
+                    "count": 1,
+                    "sum": 0.0005,
+                }
+            },
+        }
+        parent.merge(delta)
+        snap = parent.snapshot()
+        assert snap["counters"]["n"] == 3.0
+        assert snap["gauges"]["g"] == 7.0
+        assert snap["histograms"]["h"]["count"] == 2
+
+    def test_merge_order_determines_gauges(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        deltas = [{"gauges": {"g": 1.0}}, {"gauges": {"g": 2.0}}]
+        for delta in deltas:
+            a.merge(delta)
+        for delta in reversed(deltas):
+            b.merge(delta)
+        assert a.snapshot()["gauges"]["g"] == 2.0
+        assert b.snapshot()["gauges"]["g"] == 1.0
+
+    def test_merge_rejects_mismatched_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0, bounds=(1.0, 2.0))
+        with pytest.raises(ValueError, match="mismatched buckets"):
+            registry.merge(
+                {
+                    "histograms": {
+                        "h": {"bounds": [5.0], "counts": [0, 0], "count": 0, "sum": 0.0}
+                    }
+                }
+            )
+
+    def test_metrics_scope_captures_delta_despite_prior_state(self):
+        registry = MetricsRegistry()
+        registry.inc("inherited", 100)  # what a forked child would inherit
+        with MetricsScope(registry=registry) as scope:
+            registry.inc("inherited", 1)
+            registry.inc("fresh", 2)
+        assert scope.delta["counters"] == {"inherited": 1.0, "fresh": 2.0}
+
+    def test_scope_delta_merges_back_to_equivalent_totals(self):
+        serial = MetricsRegistry()
+        serial.inc("n", 3)
+
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        with MetricsScope(registry=worker) as scope:
+            worker.inc("n", 3)
+        parent.merge(scope.delta)
+        assert parent.snapshot() == serial.snapshot()
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.inc("n")
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 0.1)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestProfiling:
+    def test_noop_without_path(self):
+        with maybe_profile(None) as profiler:
+            assert profiler is None
+
+    def test_writes_loadable_pstats(self, tmp_path):
+        out = tmp_path / "nested" / "run.pstats"
+        with maybe_profile(out) as profiler:
+            assert profiler is not None
+            sum(range(1000))
+        assert out.exists()
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls >= 1

@@ -33,13 +33,15 @@ def _isolated_memo():
 
 @pytest.fixture(scope="module")
 def reports(tmp_path_factory):
-    """One serial and one jobs=2 pipeline run sharing a warm disk cache."""
+    """Serial-cold, jobs=2-warm, and serial-warm pipeline runs, shared cache."""
     clear_trace_cache()
     cache_dir = tmp_path_factory.mktemp("pipeline-cache")
     serial = run_pipeline(CONFIG, jobs=1, cache_dir=cache_dir)
     clear_trace_cache()
     parallel_report = run_pipeline(CONFIG, jobs=2, cache_dir=cache_dir)
-    return serial, parallel_report
+    clear_trace_cache()
+    serial_warm = run_pipeline(CONFIG, jobs=1, cache_dir=cache_dir)
+    return serial, parallel_report, serial_warm
 
 
 def _comparable(results: list[ExperimentResult]) -> list[dict]:
@@ -57,7 +59,7 @@ class TestRegistry:
             assert PAPER_ARTIFACTS[task.task_id] == task.paper_artifact
 
     def test_results_match_task_ids(self, reports):
-        serial, _ = reports
+        serial, _, _ = reports
         for outcome in serial.outcomes:
             assert outcome.result.experiment_id == outcome.task_id
 
@@ -74,17 +76,21 @@ class TestRegistry:
 
 class TestParallelDeterminism:
     def test_jobs2_equals_serial(self, reports):
-        serial, parallel_report = reports
+        serial, parallel_report, _ = reports
         assert _comparable(serial.results) == _comparable(parallel_report.results)
 
     def test_manifest_equal_modulo_walltimes(self, reports):
-        serial, parallel_report = reports
+        serial, parallel_report, _ = reports
 
         def strip(manifest: dict) -> dict:
             stripped = json.loads(json.dumps(manifest))
             stripped["jobs"] = None
             stripped["totals"]["wall_time_s"] = None
             stripped["trace"] = {**stripped["trace"], "hit": None, "source": None}
+            # Cold vs warm runs legitimately differ in metrics (miss vs hit
+            # counters, synthesis spans); warm-vs-warm equality is asserted
+            # separately in test_metrics_equal_across_job_counts.
+            stripped["metrics"] = None
             for row in stripped["experiments"]:
                 row["wall_time_s"] = None
                 row["trace_cache"] = None
@@ -92,17 +98,46 @@ class TestParallelDeterminism:
 
         assert strip(serial.manifest) == strip(parallel_report.manifest)
 
+    def test_metrics_equal_across_job_counts(self, reports):
+        """Warm jobs=2 and warm jobs=1 runs emit identical metrics modulo timing.
+
+        Worker deltas are merged into the parent registry in registry order,
+        so the counters/gauges/histograms (and the span *structure*) must be
+        byte-identical between job counts once the trace cache is warm.
+        """
+        _, parallel_report, serial_warm = reports
+
+        def strip_timings(metrics: dict) -> dict:
+            stripped = json.loads(json.dumps(metrics))
+
+            def strip_spans(spans: list[dict]) -> list[dict]:
+                for entry in spans:
+                    entry["wall_s"] = None
+                    entry["peak_rss_delta_kb"] = None
+                return spans
+
+            strip_spans(stripped.get("spans", []))
+            for task in stripped.get("tasks", {}).values():
+                task["wall_time_s"] = None
+                task["trace_fetch_s"] = None
+                strip_spans(task.get("spans", []))
+            return stripped
+
+        assert strip_timings(serial_warm.metrics) == strip_timings(
+            parallel_report.metrics
+        )
+
 
 class TestManifest:
     def test_cold_run_records_miss(self, reports):
-        serial, _ = reports
+        serial, _, _ = reports
         assert not serial.trace_info.hit
         assert serial.manifest["trace"]["source"] == "generated"
         rows = {row["id"]: row for row in serial.manifest["experiments"]}
         assert rows["fig1a"]["trace_cache"] == "miss"
 
     def test_warm_run_skips_synthesis(self, reports):
-        _, warm = reports
+        _, warm, _ = reports
         assert warm.trace_info.hit
         assert warm.manifest["trace"]["hit"] is True
         assert warm.manifest["trace"]["source"] == "disk"
@@ -111,7 +146,7 @@ class TestManifest:
             assert row["trace_cache"] == expected
 
     def test_schema_fields(self, reports):
-        serial, _ = reports
+        serial, _, _ = reports
         manifest = serial.manifest
         assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION
         assert manifest["config"] == {"seed": CONFIG.seed, "scale": CONFIG.scale}
@@ -126,34 +161,34 @@ class TestManifest:
             assert (row["checks_passed"] == row["checks_total"]) == row["passed"]
 
     def test_round_trip(self, reports, tmp_path):
-        serial, _ = reports
+        serial, _, _ = reports
         path = write_manifest(serial.manifest, tmp_path / "manifest.json")
         loaded = load_manifest(path)
         assert loaded == json.loads(json.dumps(serial.manifest))
 
     def test_validate_rejects_missing_keys(self, reports):
-        serial, _ = reports
+        serial, _, _ = reports
         broken = json.loads(json.dumps(serial.manifest))
         del broken["totals"]
         with pytest.raises(ValueError, match="totals"):
             validate_manifest(broken)
 
     def test_validate_rejects_wrong_schema_version(self, reports):
-        serial, _ = reports
+        serial, _, _ = reports
         broken = json.loads(json.dumps(serial.manifest))
         broken["schema_version"] = 99
         with pytest.raises(ValueError, match="schema_version"):
             validate_manifest(broken)
 
     def test_validate_rejects_inconsistent_totals(self, reports):
-        serial, _ = reports
+        serial, _, _ = reports
         broken = json.loads(json.dumps(serial.manifest))
         broken["totals"]["passed"] += 1
         with pytest.raises(ValueError, match="inconsistent"):
             validate_manifest(broken)
 
     def test_validate_rejects_bad_row(self, reports):
-        serial, _ = reports
+        serial, _, _ = reports
         broken = json.loads(json.dumps(serial.manifest))
         del broken["experiments"][0]["wall_time_s"]
         with pytest.raises(ValueError, match="wall_time_s"):
@@ -162,7 +197,7 @@ class TestManifest:
 
 class TestResultSerialization:
     def test_experiment_result_round_trip(self, reports):
-        serial, _ = reports
+        serial, _, _ = reports
         for result in serial.results:
             clone = ExperimentResult.from_dict(result.to_dict())
             assert clone.experiment_id == result.experiment_id

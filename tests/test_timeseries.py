@@ -74,6 +74,83 @@ class TestHourlyOccupancy:
         with pytest.raises(ValueError):
             hourly_occupancy(np.array([0.0]), np.array([1.0, 2.0]), duration=3600)
 
+    def test_inverted_interval_never_alive(self):
+        counts = hourly_occupancy(
+            np.array([7200.0]), np.array([0.0]), duration=3 * 3600
+        )
+        assert list(counts) == [0, 0, 0]
+
+    @staticmethod
+    def _dense_reference(starts, ends, *, duration, start=0.0):
+        """The original O(n_hours * n_vms) implementation, kept as an oracle."""
+        starts = np.asarray(starts, dtype=np.float64).ravel()
+        ends = np.asarray(ends, dtype=np.float64).ravel()
+        ends = np.where(np.isnan(ends), np.inf, ends)
+        n_hours = int(np.ceil(duration / 3600.0))
+        boundaries = start + 3600.0 * np.arange(n_hours, dtype=np.float64)
+        alive = (starts[None, :] <= boundaries[:, None]) & (
+            ends[None, :] > boundaries[:, None]
+        )
+        return alive.sum(axis=1)
+
+    def test_matches_dense_reference(self, rng):
+        n = 500
+        duration = 7 * 24 * 3600.0
+        starts = rng.uniform(-3600, duration, n)
+        ends = starts + rng.exponential(6 * 3600, n)
+        ends[rng.random(n) < 0.1] = np.inf
+        ends[rng.random(n) < 0.1] = np.nan
+        fast = hourly_occupancy(starts, ends, duration=duration)
+        assert np.array_equal(fast, self._dense_reference(starts, ends, duration=duration))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-3600, max_value=86400),
+                st.one_of(
+                    st.floats(min_value=0, max_value=172800),
+                    st.just(np.inf),
+                    st.just(np.nan),
+                ),
+            ),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50)
+    def test_equivalence_property(self, intervals):
+        # Raw (possibly inverted) intervals: both implementations must agree
+        # that end < start is never alive.
+        starts = np.array([s for s, _ in intervals], dtype=np.float64)
+        ends = np.array([e for _, e in intervals], dtype=np.float64)
+        fast = hourly_occupancy(starts, ends, duration=86400)
+        assert np.array_equal(
+            fast, self._dense_reference(starts, ends, duration=86400)
+        )
+
+    def test_memory_stays_linear(self):
+        """150k VMs x 168 hours must not allocate the dense boolean matrix.
+
+        The dense formulation peaks at ~25 MB (n_hours * n_vms bytes); the
+        searchsorted rewrite needs only a few sorted copies of the inputs,
+        so peak traced allocation stays in single-digit megabytes.
+        """
+        import tracemalloc
+
+        n = 150_000
+        rng = np.random.default_rng(1)
+        duration = 168 * 3600.0
+        starts = rng.uniform(0, duration, n)
+        ends = starts + rng.exponential(24 * 3600, n)
+        tracemalloc.start()
+        try:
+            counts = hourly_occupancy(starts, ends, duration=duration)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert counts.shape == (168,)
+        assert peak < 8 * 1024 * 1024
+
 
 class TestMovingAverage:
     def test_window_one_is_identity(self):
@@ -89,6 +166,43 @@ class TestMovingAverage:
     def test_invalid_window(self):
         with pytest.raises(ValueError):
             moving_average(np.ones(3), 0)
+
+    def test_odd_window_interior_is_plain_mean(self):
+        values = np.array([1.0, 2.0, 6.0, 2.0, 1.0])
+        out = moving_average(values, 3)
+        assert out[2] == pytest.approx((2.0 + 6.0 + 2.0) / 3)
+
+    def test_even_window_centered_kernel(self):
+        """Even windows use the half-weight [0.5, 1, ..., 1, 0.5] kernel.
+
+        Pins the edge values so a regression back to the off-center
+        np.convolve(mode="same") behaviour (which skewed every smoothed
+        value toward the past) fails loudly.
+        """
+        values = np.arange(1.0, 7.0)  # 1..6
+        out = moving_average(values, 4)
+        # out[0] = (1*1 + 2*1 + 3*0.5) / (1 + 1 + 0.5)
+        assert out[0] == pytest.approx(1.8)
+        # interior: full kernel (0.5*1 + 2 + 3 + 4 + 0.5*5) / 4
+        assert out[2] == pytest.approx((0.5 * 1 + 2 + 3 + 4 + 0.5 * 5) / 4)
+
+    def test_even_window_constant_preserved(self):
+        assert np.allclose(moving_average(np.full(10, 2.0), 4), 2.0)
+
+    @pytest.mark.parametrize("window", [2, 3, 4, 5, 8])
+    def test_time_reversal_symmetry(self, rng, window):
+        """A centered smoother must commute with reversing time."""
+        values = rng.uniform(0, 1, 30)
+        forward = moving_average(values, window)
+        backward = moving_average(values[::-1], window)[::-1]
+        assert np.allclose(forward, backward)
+
+    @pytest.mark.parametrize("window", [2, 4, 6])
+    def test_window_longer_than_signal(self, window):
+        values = np.array([1.0, 3.0])
+        out = moving_average(values, window)
+        assert out.shape == values.shape
+        assert np.all(np.isfinite(out))
 
 
 class TestPercentileBands:
@@ -117,6 +231,34 @@ class TestPercentileBands:
     def test_requires_nonempty(self):
         with pytest.raises(ValueError):
             percentile_bands(np.empty((0, 5)))
+
+    def test_nan_gap_does_not_poison_column(self):
+        """One VM's missing sample must not wipe out the whole timestamp."""
+        matrix = np.array([[1.0, 1.0], [2.0, np.nan], [3.0, 3.0]])
+        bands = percentile_bands(matrix, (50.0,))
+        assert bands.band(50.0)[0] == pytest.approx(2.0)
+        # Median over the remaining finite samples {1, 3}.
+        assert bands.band(50.0)[1] == pytest.approx(2.0)
+        assert bands.n_series == 3
+
+    def test_all_nan_column_stays_nan_without_warning(self):
+        matrix = np.array([[np.nan, 1.0], [np.nan, 3.0]])
+        with np.errstate(all="raise"):
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                bands = percentile_bands(matrix, (25.0, 50.0))
+        assert np.all(np.isnan(bands.band(50.0)[:1]))
+        assert np.isnan(bands.band(25.0)[0])
+        assert bands.band(50.0)[1] == pytest.approx(2.0)
+
+    def test_nan_free_path_unchanged(self, rng):
+        matrix = rng.uniform(0, 1, size=(20, 12))
+        with_nan_path = percentile_bands(matrix)
+        assert np.array_equal(
+            with_nan_path.bands, np.percentile(matrix, (25.0, 50.0, 75.0, 95.0), axis=0)
+        )
 
 
 class TestFoldDaily:
