@@ -6,6 +6,7 @@ Subcommands::
     repro-cloud study       [--trace trace_dir | --seed 7 --scale 0.3]
     repro-cloud experiments [--jobs 4] [--manifest [PATH]] [--cache-dir DIR]
                             [--write-md EXPERIMENTS.md] [--seed 7 --scale 0.3]
+                            [--retries N] [--task-timeout S] [--fail-fast]
                             [--metrics PATH] [--profile [PATH]]
                             (alias: repro-cloud run ...)
     repro-cloud kb          [--trace trace_dir] [--out kb.json]
@@ -13,8 +14,11 @@ Subcommands::
 
 (Also runnable as ``python -m repro ...``.)
 
-``experiments`` and ``study`` exit nonzero when any shape check or insight
-fails, so CI can gate directly on the command.
+``study`` exits nonzero when any insight fails.  ``experiments`` exits 0
+when every task completed and passed, 1 when any completed experiment
+failed its shape checks, and 3 when the run is *degraded*: every
+completed experiment passed but some task failed, timed out, or was
+skipped (see docs/PIPELINE.md), so CI can gate directly on the command.
 """
 
 from __future__ import annotations
@@ -98,6 +102,9 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
     from repro.experiments.config import ExperimentConfig
     from repro.experiments.runner import (
+        EXIT_CHECK_FAILURES,
+        EXIT_DEGRADED,
+        exit_code_for_manifest,
         render_report,
         run_pipeline,
         write_experiments_md,
@@ -105,7 +112,14 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     )
     from repro.obs import maybe_profile
 
-    config = ExperimentConfig(seed=args.seed, scale=args.scale)
+    config = ExperimentConfig(
+        seed=args.seed,
+        scale=args.scale,
+        retries=args.retries,
+        task_timeout_s=args.task_timeout,
+        retry_backoff_s=args.retry_backoff,
+        fail_fast=args.fail_fast,
+    )
     with maybe_profile(args.profile):
         report = run_pipeline(
             config,
@@ -146,16 +160,33 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         written = export_results(results, args.export_dir)
         n_files = sum(len(paths) for paths in written.values())
         print(f"exported {n_files} CSV files to {args.export_dir}")
-    # The pass count is the gate: CI consumes this exit code (and the
-    # manifest) instead of re-parsing the console report.
-    if totals["failed"]:
+    # The manifest is the gate: CI consumes this exit code (0 = all ok,
+    # 3 = degraded but complete, 1 = shape-check failures) and the
+    # manifest rows instead of re-parsing the console report.
+    code = exit_code_for_manifest(report.manifest)
+    if code == EXIT_CHECK_FAILURES:
         print(
             f"{totals['failed']}/{totals['experiments']} experiments failed "
             "their shape checks",
             file=sys.stderr,
         )
-        return 1
-    return 0
+    elif code == EXIT_DEGRADED:
+        degraded_rows = [
+            row for row in report.manifest["experiments"]
+            if row["status"] not in ("ok", "retried")
+        ]
+        for row in degraded_rows:
+            print(
+                f"task {row['id']}: {row['status']} after {row['attempts']} "
+                f"attempt(s): {row.get('error', '')}",
+                file=sys.stderr,
+            )
+        print(
+            f"pipeline degraded: {len(degraded_rows)}/{totals['experiments']} "
+            "task(s) did not complete (exit 3)",
+            file=sys.stderr,
+        )
+    return code
 
 
 def _cmd_kb(args: argparse.Namespace) -> int:
@@ -272,6 +303,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the experiment pipeline (1 = serial; "
         "results are identical at any job count)",
+    )
+    p_exp.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts for a task whose worker fails, hangs, or dies "
+        "(default 0: fail after the first attempt)",
+    )
+    p_exp.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock deadline; a hung worker is killed and "
+        "the task retried/marked 'timeout' (forces process isolation even "
+        "at --jobs 1)",
+    )
+    p_exp.add_argument(
+        "--retry-backoff", type=float, default=0.1, metavar="SECONDS",
+        help="base exponential backoff between attempts (default 0.1s)",
+    )
+    p_exp.add_argument(
+        "--fail-fast", action="store_true",
+        help="skip not-yet-started tasks once any task exhausts its attempts",
     )
     p_exp.add_argument(
         "--manifest", nargs="?", const=True, default=None, metavar="PATH",

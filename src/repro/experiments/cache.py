@@ -30,7 +30,14 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.obs import Counter, span
-from repro.telemetry.io import is_trace_dir, load_trace, save_trace_atomic
+from repro.experiments import faultinject
+from repro.telemetry.io import (
+    TraceCorruptionError,
+    is_trace_dir,
+    load_trace,
+    save_trace_atomic,
+    verify_trace_dir,
+)
 from repro.telemetry.store import TraceStore
 from repro.workloads.generator import GENERATOR_VERSION, GeneratorConfig, generate_trace_pair
 
@@ -40,6 +47,7 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 _HITS = Counter("cache.hit")
 _MISSES = Counter("cache.miss")
 _WRITES = Counter("cache.write")
+_CORRUPT_EVICTED = Counter("cache.corrupt_evicted")
 
 
 def resolve_cache_dir(cache_dir: str | Path | None = None) -> Path:
@@ -84,10 +92,19 @@ class TraceCacheInfo:
     hit: bool
     #: ``"disk"`` for a cache hit, ``"generated"`` for a fresh synthesis.
     source: str
+    #: True when a corrupt cached entry was evicted before this fetch
+    #: (the trace was then re-synthesized).
+    evicted_corrupt: bool = False
 
     def to_dict(self) -> dict:
         """JSON-ready rendering for the manifest."""
-        return {"key": self.key, "path": self.path, "hit": self.hit, "source": self.source}
+        return {
+            "key": self.key,
+            "path": self.path,
+            "hit": self.hit,
+            "source": self.source,
+            "evicted_corrupt": self.evicted_corrupt,
+        }
 
 
 def fetch_trace(
@@ -99,17 +116,33 @@ def fetch_trace(
 ) -> tuple[TraceStore, TraceCacheInfo]:
     """Return the trace pair for ``config`` and where it came from.
 
-    On a miss the pair is generated (``workers`` forwarded to
-    :func:`generate_trace_pair`) and, unless ``use_cache`` is false, stored
-    atomically for the next run.
+    A cached entry is integrity-checked before use; truncated or
+    checksum-mismatched entries are evicted (counted on
+    ``cache.corrupt_evicted``) and the trace falls back to re-synthesis,
+    so a torn write or disk fault degrades a run to a cache miss instead
+    of aborting it.  On a miss the pair is generated (``workers``
+    forwarded to :func:`generate_trace_pair`) and, unless ``use_cache``
+    is false, stored atomically for the next run.
     """
     key = config_hash(config)
     path = trace_cache_path(config, cache_dir)
+    evicted_corrupt = False
     if use_cache and is_trace_dir(path):
-        _HITS.inc()
-        with span("cache.load", key=key):
-            store = load_trace(path)
-        return store, TraceCacheInfo(key, str(path), hit=True, source="disk")
+        # Test/CI seam: an armed REPRO_FAULT=cache:corrupt truncates the
+        # entry here, exercising the eviction path below deterministically.
+        faultinject.maybe_corrupt_cache(path)
+        try:
+            verify_trace_dir(path)
+            with span("cache.load", key=key):
+                store = load_trace(path)
+        except TraceCorruptionError as exc:
+            evicted_corrupt = True
+            _CORRUPT_EVICTED.inc()
+            with span("cache.corrupt_evicted", key=key, error=str(exc)[:300]):
+                shutil.rmtree(path, ignore_errors=True)
+        else:
+            _HITS.inc()
+            return store, TraceCacheInfo(key, str(path), hit=True, source="disk")
     _MISSES.inc()
     with span("cache.synthesize", key=key):
         store = generate_trace_pair(config, workers=workers)
@@ -117,7 +150,9 @@ def fetch_trace(
         with span("cache.save", key=key):
             save_trace_atomic(store, path)
         _WRITES.inc()
-    return store, TraceCacheInfo(key, str(path), hit=False, source="generated")
+    return store, TraceCacheInfo(
+        key, str(path), hit=False, source="generated", evicted_corrupt=evicted_corrupt
+    )
 
 
 def get_trace(

@@ -1,12 +1,21 @@
-"""Declarative experiment registry and a parallel task executor.
+"""Declarative experiment registry and a fault-tolerant parallel executor.
 
 Every paper artifact is a named :class:`ExperimentTask` with an explicit
 trace dependency, so the pipeline knows what each task needs instead of
 hard-coding one serial call sequence.  :func:`execute` runs a task
-selection either serially (``jobs=1``, bit-identical to the historical
-``run_all`` order) or across a :class:`~concurrent.futures.ProcessPoolExecutor`
-(``jobs>1``); outcomes are always reassembled in registry order, so the
-output is deterministic at any job count.
+selection either inline (``jobs=1`` with no timeout or armed faults --
+bit-identical to the historical ``run_all`` order) or under a supervising
+scheduler that gives **every task attempt its own worker process**.
+
+Per-task processes are what make the pipeline fault tolerant: a worker
+that raises, hangs past the :class:`~repro.experiments.config.RetryPolicy`
+deadline, or dies to a SIGKILL takes down only its own attempt.  The
+supervisor retries the attempt with exponential backoff, and when the
+attempts are exhausted it records a ``failed``/``timeout`` outcome while
+the rest of the registry completes -- unlike a shared
+``ProcessPoolExecutor``, where one killed worker poisons every pending
+future with ``BrokenProcessPool``.  Outcomes are always reassembled in
+registry order, so the output is deterministic at any job count.
 
 Worker processes get the shared trace for free: on fork start methods they
 inherit the parent's warmed in-memory memo, and on spawn they fall back to
@@ -16,15 +25,17 @@ no job count ever re-synthesizes a trace another process already built.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import multiprocessing
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.obs import MetricsScope, drain_spans, mark, span
+from repro.obs import Counter, MetricsScope, drain_spans, mark, span
 from repro.obs.metrics import REGISTRY as _METRICS_REGISTRY
 from repro.experiments import (
     case_study,
+    faultinject,
     fig1,
     fig2,
     fig3,
@@ -36,7 +47,18 @@ from repro.experiments import (
     validity,
 )
 from repro.experiments.base import ExperimentResult
-from repro.experiments.config import ExperimentConfig, get_trace
+from repro.experiments.config import ExperimentConfig, RetryPolicy, get_trace
+
+#: Statuses a task outcome (and its manifest row) may carry.
+TASK_STATUSES = ("ok", "retried", "failed", "timeout", "skipped")
+
+#: Statuses that mark a run degraded (the task produced no result).
+DEGRADED_STATUSES = ("failed", "timeout", "skipped")
+
+_RETRY_ATTEMPTS = Counter("retry.attempts")
+_TASKS_FAILED = Counter("task.failed")
+_TASKS_TIMEOUT = Counter("task.timeout")
+_TASKS_SKIPPED = Counter("task.skipped")
 
 
 @dataclass(frozen=True)
@@ -114,14 +136,20 @@ REGISTRY: tuple[ExperimentTask, ...] = (
 #: Registry lookup by task id.
 TASKS: dict[str, ExperimentTask] = {task.task_id: task for task in REGISTRY}
 
+#: Registry order, used to resolve fault targets deterministically.
+_REGISTRY_IDS: tuple[str, ...] = tuple(task.task_id for task in REGISTRY)
+
 
 @dataclass
 class TaskOutcome:
     """One executed task: its result plus the telemetry the manifest records."""
 
     task_id: str
-    result: ExperimentResult
-    #: Seconds spent inside the experiment itself.
+    #: The experiment result, or ``None`` when the task did not complete
+    #: (``status`` is then ``failed``/``timeout``/``skipped``).
+    result: ExperimentResult | None
+    #: Seconds spent inside the experiment itself (for non-``ok`` outcomes:
+    #: total wall time across every attempt, including backoff).
     wall_time_s: float
     #: Seconds spent fetching the shared trace (0 for self-sufficient tasks;
     #: ~0 once the in-process memo is warm).
@@ -131,6 +159,17 @@ class TaskOutcome:
     spans: list[dict] = field(default_factory=list)
     #: Registry delta (counters/gauges/histograms) scoped to this task.
     metrics: dict = field(default_factory=dict)
+    #: One of :data:`TASK_STATUSES`.
+    status: str = "ok"
+    #: Attempts consumed (0 for ``skipped`` tasks).
+    attempts: int = 1
+    #: Accumulated attempt errors for non-``ok``/``retried`` outcomes.
+    error: str | None = None
+
+    @property
+    def completed(self) -> bool:
+        """Whether the task produced a result (``ok`` or ``retried``)."""
+        return self.result is not None
 
 
 def run_task(
@@ -139,15 +178,19 @@ def run_task(
     *,
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
+    attempt: int = 1,
 ) -> TaskOutcome:
-    """Execute one registered task (also the entry point for pool workers).
+    """Execute one registered task (also the entry point for worker processes).
 
     The task body runs under a ``task.run`` span and a :class:`MetricsScope`;
     the resulting span slice and metrics delta travel back to the parent in
     the outcome, where :func:`execute` merges deltas in registry order.
+    Armed :mod:`~repro.experiments.faultinject` faults fire here, before
+    any real work, so every attempt is deterministic.
     """
     config = config or ExperimentConfig()
     task = TASKS[task_id]
+    faultinject.maybe_fire(task_id, attempt, _REGISTRY_IDS)
     fetch_s = 0.0
     span_mark = mark()
     with MetricsScope() as scope:
@@ -167,6 +210,29 @@ def run_task(
         trace_fetch_s=fetch_s,
         spans=drain_spans(since=span_mark),
         metrics=scope.delta,
+        attempts=attempt,
+    )
+
+
+def _select_tasks(task_ids: Sequence[str] | None) -> list[ExperimentTask]:
+    if task_ids is None:
+        return list(REGISTRY)
+    unknown = sorted(set(task_ids) - set(TASKS))
+    if unknown:
+        raise KeyError(f"unknown experiment task(s): {', '.join(unknown)}")
+    return [task for task in REGISTRY if task.task_id in set(task_ids)]
+
+
+def _plan_requires_isolation() -> bool:
+    """Whether the armed fault plan needs per-process workers to contain.
+
+    A ``raise`` fault is an ordinary exception the inline retry loop can
+    catch, but a hang can only be stopped -- and a SIGKILL only survived --
+    from outside the worker process.
+    """
+    return any(
+        spec.kind in (faultinject.FaultKind.HANG, faultinject.FaultKind.KILL)
+        for spec in faultinject.plan_from_env()
     )
 
 
@@ -177,46 +243,312 @@ def execute(
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
     task_ids: Sequence[str] | None = None,
+    policy: RetryPolicy | None = None,
 ) -> list[TaskOutcome]:
     """Run the selected tasks and return outcomes in registry order.
 
     ``jobs=1`` (the default) runs in-process in exactly the historical
-    serial order.  With ``jobs>1`` tasks fan out over worker processes;
-    the shared trace is warmed once in the parent first, and the outcome
-    list is reassembled by registry position, so results are identical to
-    a serial run regardless of completion order.
+    serial order, with exceptions contained per task and retried per
+    ``policy``.  With ``jobs>1`` -- or whenever a per-task timeout or a
+    hang/kill fault demands real isolation -- every attempt runs in its
+    own worker process under the supervising scheduler, so a crashed,
+    hung, or killed worker marks only its task while the rest of the
+    registry completes.  Outcomes are reassembled by registry position,
+    so results are identical to a serial run regardless of completion
+    order or worker count.
     """
     config = config or ExperimentConfig()
-    if task_ids is None:
-        selected = list(REGISTRY)
+    policy = policy if policy is not None else config.retry_policy()
+    selected = _select_tasks(task_ids)
+    isolate = (
+        jobs > 1
+        or policy.task_timeout_s is not None
+        or _plan_requires_isolation()
+    )
+    if not selected:
+        return []
+    if not isolate:
+        outcomes = []
+        failed = False
+        for task in selected:
+            if failed and policy.fail_fast:
+                _TASKS_SKIPPED.inc()
+                outcomes.append(
+                    TaskOutcome(
+                        task_id=task.task_id, result=None, wall_time_s=0.0,
+                        status="skipped", attempts=0,
+                        error="skipped: fail_fast after earlier failure",
+                    )
+                )
+                continue
+            outcome = _run_inline_with_retries(task, config, policy, cache_dir, use_cache)
+            failed = failed or outcome.status in DEGRADED_STATUSES
+            outcomes.append(outcome)
     else:
-        unknown = sorted(set(task_ids) - set(TASKS))
-        if unknown:
-            raise KeyError(f"unknown experiment task(s): {', '.join(unknown)}")
-        selected = [task for task in REGISTRY if task.task_id in set(task_ids)]
-    if jobs <= 1 or len(selected) <= 1:
-        return [
-            run_task(task.task_id, config, cache_dir=cache_dir, use_cache=use_cache)
-            for task in selected
-        ]
-    if any(task.uses_shared_trace for task in selected):
-        # Warm once in the parent: forked workers inherit the store, spawned
-        # workers hit the disk cache this call just populated.
-        get_trace(config, cache_dir=cache_dir, use_cache=use_cache)
+        if any(task.uses_shared_trace for task in selected):
+            # Warm once in the parent: forked workers inherit the store,
+            # spawned workers hit the disk cache this call just populated.
+            get_trace(config, cache_dir=cache_dir, use_cache=use_cache)
+        outcomes = _run_isolated(
+            selected, config, policy,
+            jobs=max(1, jobs), cache_dir=cache_dir, use_cache=use_cache,
+        )
+        # Fold worker metric deltas into this process's registry *in
+        # registry order*, not completion order, so the merged totals (and
+        # gauge values) are identical to a serial run of the same task set.
+        # Inline outcomes must NOT be merged: their increments already
+        # landed in this registry while the task ran in-process.
+        for outcome in outcomes:
+            if outcome.metrics:
+                _METRICS_REGISTRY.merge(outcome.metrics)
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# inline execution (jobs=1, no timeout): historical serial order
+# ----------------------------------------------------------------------
+def _run_inline_with_retries(
+    task: ExperimentTask,
+    config: ExperimentConfig,
+    policy: RetryPolicy,
+    cache_dir: str | Path | None,
+    use_cache: bool,
+) -> TaskOutcome:
+    """One task, in-process, with the retry policy but no hard isolation."""
+    errors: list[str] = []
+    t0 = time.perf_counter()
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            outcome = run_task(
+                task.task_id, config,
+                cache_dir=cache_dir, use_cache=use_cache, attempt=attempt,
+            )
+        except Exception as exc:
+            errors.append(f"attempt {attempt}: {type(exc).__name__}: {exc}")
+            if attempt < policy.max_attempts:
+                _RETRY_ATTEMPTS.inc()
+                time.sleep(policy.backoff_for(attempt))
+            continue
+        outcome.attempts = attempt
+        if attempt > 1:
+            outcome.status = "retried"
+        return outcome
+    _TASKS_FAILED.inc()
+    return TaskOutcome(
+        task_id=task.task_id,
+        result=None,
+        wall_time_s=time.perf_counter() - t0,
+        status="failed",
+        attempts=policy.max_attempts,
+        error="; ".join(errors),
+    )
+
+
+# ----------------------------------------------------------------------
+# isolated execution: one worker process per task attempt
+# ----------------------------------------------------------------------
+def _worker_entry(
+    conn,
+    task_id: str,
+    config: ExperimentConfig,
+    cache_dir: str | Path | None,
+    use_cache: bool,
+    attempt: int,
+) -> None:
+    """Worker-process body: run one attempt, ship the outcome (or error) back.
+
+    An ordinary exception is reported as a message rather than a dead
+    process, so the supervisor can retry without paying another fork for
+    the diagnosis.  Hangs and SIGKILLs never reach the ``send`` -- the
+    supervisor detects those from the outside.
+    """
+    try:
+        outcome = run_task(
+            task_id, config, cache_dir=cache_dir, use_cache=use_cache, attempt=attempt
+        )
+        conn.send(("ok", outcome))
+    except BaseException as exc:  # noqa: BLE001 - the supervisor triages
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    """Supervisor-side state of one in-flight worker process."""
+
+    proc: multiprocessing.process.BaseProcess
+    conn: object
+    index: int
+    attempt: int
+    started: float
+    deadline: float | None
+
+    def close(self) -> None:
+        self.proc.join()
+        self.conn.close()
+
+
+@dataclass
+class _TaskState:
+    """Supervisor-side bookkeeping for one selected task."""
+
+    task: ExperimentTask
+    attempts: int = 0
+    first_started: float | None = None
+    errors: list[str] = field(default_factory=list)
+
+
+def _run_isolated(
+    selected: list[ExperimentTask],
+    config: ExperimentConfig,
+    policy: RetryPolicy,
+    *,
+    jobs: int,
+    cache_dir: str | Path | None,
+    use_cache: bool,
+) -> list[TaskOutcome]:
+    """Supervise one worker process per task attempt.
+
+    The scheduler keeps at most ``jobs`` workers alive, enforces the
+    per-attempt deadline, retries failed/hung/killed attempts with
+    exponential backoff, and -- under ``fail_fast`` -- skips tasks that
+    have not started once any task exhausts its attempts.
+    """
+    ctx = multiprocessing.get_context()
     outcomes: list[TaskOutcome | None] = [None] * len(selected)
-    with ProcessPoolExecutor(max_workers=min(jobs, len(selected))) as pool:
-        futures = {
-            pool.submit(
-                run_task, task.task_id, config, cache_dir=cache_dir, use_cache=use_cache
-            ): index
-            for index, task in enumerate(selected)
-        }
-        for future in as_completed(futures):
-            outcomes[futures[future]] = future.result()
-    ordered = [outcome for outcome in outcomes if outcome is not None]
-    # Fold worker metric deltas into this process's registry *in registry
-    # order*, not completion order, so the merged totals (and gauge values)
-    # are identical to a serial run of the same task set.
-    for outcome in ordered:
-        _METRICS_REGISTRY.merge(outcome.metrics)
-    return ordered
+    states = [_TaskState(task) for task in selected]
+    #: (eligible_at, index) of attempts waiting for a worker slot.
+    ready: list[tuple[float, int]] = [(0.0, i) for i in range(len(selected))]
+    running: dict[int, _Attempt] = {}
+
+    def launch(index: int) -> None:
+        state = states[index]
+        state.attempts += 1
+        now = time.monotonic()
+        if state.first_started is None:
+            state.first_started = now
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_entry,
+            args=(send, state.task.task_id, config, cache_dir, use_cache, state.attempts),
+            daemon=True,
+        )
+        # No parent-side span here: inline and isolated runs must produce
+        # identical span structure so metrics stay comparable across --jobs.
+        proc.start()
+        send.close()  # the parent reads; closing its write end makes EOF visible
+        deadline = (
+            now + policy.task_timeout_s if policy.task_timeout_s is not None else None
+        )
+        running[index] = _Attempt(
+            proc=proc, conn=recv, index=index,
+            attempt=state.attempts, started=now, deadline=deadline,
+        )
+
+    def finalize_success(index: int, outcome: TaskOutcome, attempt: int) -> None:
+        outcome.attempts = attempt
+        if attempt > 1:
+            outcome.status = "retried"
+        outcomes[index] = outcome
+
+    def finalize_failure(index: int, status: str) -> None:
+        state = states[index]
+        (_TASKS_TIMEOUT if status == "timeout" else _TASKS_FAILED).inc()
+        elapsed = time.monotonic() - (state.first_started or time.monotonic())
+        outcomes[index] = TaskOutcome(
+            task_id=state.task.task_id,
+            result=None,
+            wall_time_s=elapsed,
+            status=status,
+            attempts=state.attempts,
+            error="; ".join(state.errors),
+        )
+        if policy.fail_fast:
+            skip_pending(because=state.task.task_id)
+
+    def skip_pending(because: str) -> None:
+        while ready:
+            _eligible, index = ready.pop(0)
+            state = states[index]
+            _TASKS_SKIPPED.inc()
+            note = f"skipped after {because} exhausted its attempts (fail-fast)"
+            if state.errors:
+                note = "; ".join(state.errors + [note])
+            outcomes[index] = TaskOutcome(
+                task_id=state.task.task_id,
+                result=None,
+                wall_time_s=0.0,
+                status="skipped",
+                attempts=state.attempts,
+                error=note,
+            )
+
+    def handle_failed_attempt(index: int, message: str, *, timed_out: bool) -> None:
+        state = states[index]
+        state.errors.append(f"attempt {state.attempts}: {message}")
+        if state.attempts < policy.max_attempts:
+            _RETRY_ATTEMPTS.inc()
+            eligible = time.monotonic() + policy.backoff_for(state.attempts)
+            ready.append((eligible, index))
+        else:
+            finalize_failure(index, "timeout" if timed_out else "failed")
+
+    while ready or running:
+        now = time.monotonic()
+        # Launch eligible attempts into free slots, lowest index first so
+        # cold starts follow registry order deterministically.
+        ready.sort(key=lambda item: item[1])
+        for entry in list(ready):
+            if len(running) >= jobs:
+                break
+            eligible, index = entry
+            if eligible > now:
+                continue
+            ready.remove(entry)
+            launch(index)
+        progressed = False
+        for index, att in list(running.items()):
+            if att.conn.poll(0):
+                del running[index]
+                try:
+                    kind, payload = att.conn.recv()
+                except (EOFError, OSError):
+                    att.close()
+                    kind, payload = "error", (
+                        f"worker exited with code {att.proc.exitcode} "
+                        "before returning a result"
+                    )
+                else:
+                    att.close()
+                if kind == "ok":
+                    finalize_success(index, payload, att.attempt)
+                else:
+                    handle_failed_attempt(index, payload, timed_out=False)
+                progressed = True
+            elif att.deadline is not None and now >= att.deadline:
+                att.proc.kill()
+                del running[index]
+                att.close()
+                handle_failed_attempt(
+                    index,
+                    f"timed out after {policy.task_timeout_s}s",
+                    timed_out=True,
+                )
+                progressed = True
+            elif not att.proc.is_alive():
+                del running[index]
+                att.close()
+                handle_failed_attempt(
+                    index,
+                    f"worker exited with code {att.proc.exitcode} "
+                    "before returning a result",
+                    timed_out=False,
+                )
+                progressed = True
+        if not progressed and (running or ready):
+            time.sleep(0.01)
+    return [outcome for outcome in outcomes if outcome is not None]

@@ -17,11 +17,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.obs import MetricsScope, drain_spans, mark, span
-from repro.experiments import cache, parallel
+from repro.experiments import cache, faultinject, parallel
 from repro.experiments.base import ExperimentResult
 from repro.experiments.cache import TraceCacheInfo
-from repro.experiments.config import ExperimentConfig, prime_trace
-from repro.experiments.parallel import TaskOutcome
+from repro.experiments.config import ExperimentConfig, RetryPolicy, prime_trace
+from repro.experiments.parallel import DEGRADED_STATUSES, TASK_STATUSES, TaskOutcome
 from repro.workloads.generator import GENERATOR_VERSION
 
 #: Maps experiment ids to the paper artifact they reproduce.
@@ -29,11 +29,22 @@ PAPER_ARTIFACTS = {task.task_id: task.paper_artifact for task in parallel.REGIST
 
 #: Version of the ``manifest.json`` layout; bump on breaking field changes.
 #: v2 added the ``metrics`` section (counters/gauges/histograms + spans).
-MANIFEST_SCHEMA_VERSION = 2
+#: v3 added fault tolerance: per-row ``status``/``attempts``/``error``,
+#: the top-level ``degraded`` flag, ``policy``, ``faults``, and
+#: ``totals.degraded``.
+MANIFEST_SCHEMA_VERSION = 3
 
 #: Version of the standalone metrics snapshot layout (``--metrics`` file,
 #: also embedded as the manifest's ``metrics`` section).
 METRICS_SCHEMA_VERSION = 1
+
+#: CLI exit codes: every shape check passed and every task completed.
+EXIT_OK = 0
+#: At least one *completed* experiment failed its shape checks.
+EXIT_CHECK_FAILURES = 1
+#: Every completed experiment passed, but some task failed/timed out/was
+#: skipped -- the run is usable yet incomplete.
+EXIT_DEGRADED = 3
 
 _MANIFEST_TOP_KEYS = (
     "schema_version",
@@ -41,8 +52,11 @@ _MANIFEST_TOP_KEYS = (
     "config_hash",
     "generator_version",
     "jobs",
+    "policy",
+    "faults",
     "cache",
     "trace",
+    "degraded",
     "totals",
     "metrics",
     "experiments",
@@ -52,6 +66,8 @@ _METRICS_KEYS = ("schema_version", "counters", "gauges", "histograms", "spans", 
 _MANIFEST_ROW_KEYS = (
     "id",
     "paper_artifact",
+    "status",
+    "attempts",
     "passed",
     "checks_passed",
     "checks_total",
@@ -72,8 +88,17 @@ class RunReport:
 
     @property
     def results(self) -> list[ExperimentResult]:
-        """The experiment results in registry order."""
-        return [outcome.result for outcome in self.outcomes]
+        """Results of every *completed* experiment, in registry order.
+
+        Tasks that failed, timed out, or were skipped have no result; their
+        record lives in the manifest rows (``status``/``attempts``/``error``).
+        """
+        return [outcome.result for outcome in self.outcomes if outcome.result is not None]
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any task failed to complete (see manifest ``degraded``)."""
+        return bool(self.manifest.get("degraded"))
 
     @property
     def metrics(self) -> dict:
@@ -87,14 +112,18 @@ def run_pipeline(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
+    policy: RetryPolicy | None = None,
 ) -> RunReport:
     """Execute every registered experiment and build the run manifest.
 
     The whole run executes under a metrics scope and a span bookmark, so
     the manifest's ``metrics`` section describes *this* run only -- repeat
-    runs in one process do not bleed into each other.
+    runs in one process do not bleed into each other.  A manifest is built
+    for every run that gets as far as task execution -- degraded runs
+    included -- so partial results always leave a machine-readable record.
     """
     config = config or ExperimentConfig()
+    policy = policy if policy is not None else config.retry_policy()
     t0 = time.perf_counter()
     span_mark = mark()
     with MetricsScope() as scope:
@@ -104,7 +133,7 @@ def run_pipeline(
             )
         prime_trace(config, store)
         outcomes = parallel.execute(
-            config, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache
+            config, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, policy=policy
         )
     metrics = build_metrics_snapshot(
         outcomes, registry_delta=scope.delta, spans=drain_spans(since=span_mark)
@@ -118,6 +147,7 @@ def run_pipeline(
         use_cache=use_cache,
         elapsed_s=time.perf_counter() - t0,
         metrics=metrics,
+        policy=policy,
     )
     return RunReport(
         config=config, outcomes=outcomes, trace_info=trace_info, manifest=manifest
@@ -182,47 +212,86 @@ def build_manifest(
     use_cache: bool = True,
     elapsed_s: float = 0.0,
     metrics: dict | None = None,
+    policy: RetryPolicy | None = None,
 ) -> dict:
-    """The machine-readable record of one pipeline run."""
+    """The machine-readable record of one pipeline run (schema v3).
+
+    Every task lands in a row whether or not it completed: a task that
+    failed, timed out, or was skipped carries its ``status``, consumed
+    ``attempts``, and accumulated ``error`` with ``passed: false`` and no
+    checks.  The top-level ``degraded`` flag (and ``totals.degraded``
+    count) summarize whether any task is missing from the results.
+    """
+    policy = policy if policy is not None else config.retry_policy()
     experiments = []
     for outcome in outcomes:
         task = parallel.TASKS[outcome.task_id]
         result = outcome.result
         shared = task.uses_shared_trace
-        experiments.append(
-            {
-                "id": result.experiment_id,
-                "paper_artifact": task.paper_artifact,
-                "passed": result.passed,
-                "checks_passed": sum(check.passed for check in result.checks),
-                "checks_total": len(result.checks),
-                "wall_time_s": round(outcome.wall_time_s, 3),
-                "trace_cache": ("hit" if trace_info.hit else "miss") if shared else "n/a",
-                "config_hash": trace_info.key,
-                "checks": [check.to_dict() for check in result.checks],
-            }
-        )
-    passed = sum(1 for outcome in outcomes if outcome.result.passed)
+        row = {
+            "id": outcome.task_id,
+            "paper_artifact": task.paper_artifact,
+            "status": outcome.status,
+            "attempts": outcome.attempts,
+            "passed": result.passed if result is not None else False,
+            "checks_passed": (
+                sum(check.passed for check in result.checks) if result is not None else 0
+            ),
+            "checks_total": len(result.checks) if result is not None else 0,
+            "wall_time_s": round(outcome.wall_time_s, 3),
+            "trace_cache": ("hit" if trace_info.hit else "miss") if shared else "n/a",
+            "config_hash": trace_info.key,
+            "checks": [check.to_dict() for check in result.checks] if result else [],
+        }
+        if outcome.error is not None:
+            row["error"] = outcome.error
+        experiments.append(row)
+    passed = sum(1 for outcome in outcomes if outcome.result and outcome.result.passed)
+    degraded = sum(1 for outcome in outcomes if outcome.status in DEGRADED_STATUSES)
     return {
         "schema_version": MANIFEST_SCHEMA_VERSION,
         "config": {"seed": config.seed, "scale": config.scale},
         "config_hash": trace_info.key,
         "generator_version": GENERATOR_VERSION,
         "jobs": jobs,
+        "policy": policy.to_dict(),
+        "faults": faultinject.describe_plan(),
         "cache": {
             "dir": str(cache.resolve_cache_dir(cache_dir)),
             "enabled": bool(use_cache),
         },
         "trace": trace_info.to_dict(),
+        "degraded": degraded > 0,
         "totals": {
             "experiments": len(outcomes),
             "passed": passed,
             "failed": len(outcomes) - passed,
+            "degraded": degraded,
             "wall_time_s": round(elapsed_s, 3),
         },
         "metrics": metrics if metrics is not None else build_metrics_snapshot(outcomes),
         "experiments": experiments,
     }
+
+
+def exit_code_for_manifest(manifest: dict) -> int:
+    """Map a run manifest onto the CLI exit code contract.
+
+    :data:`EXIT_CHECK_FAILURES` (1) when any *completed* experiment failed
+    its shape checks -- wrong results outrank missing ones.  Otherwise
+    :data:`EXIT_DEGRADED` (3) when the run is degraded (some task never
+    produced a result), else :data:`EXIT_OK` (0).
+    """
+    rows = manifest.get("experiments", [])
+    check_failures = any(
+        row.get("status") in ("ok", "retried") and not row.get("passed")
+        for row in rows
+    )
+    if check_failures:
+        return EXIT_CHECK_FAILURES
+    if manifest.get("degraded"):
+        return EXIT_DEGRADED
+    return EXIT_OK
 
 
 def validate_manifest(manifest: dict) -> dict:
@@ -252,11 +321,34 @@ def validate_manifest(manifest: dict) -> dict:
                 f"experiment row {row['id']!r} has invalid trace_cache "
                 f"{row['trace_cache']!r}"
             )
+        if row["status"] not in TASK_STATUSES:
+            raise ValueError(
+                f"experiment row {row['id']!r} has invalid status {row['status']!r}"
+            )
+        if not isinstance(row["attempts"], int) or row["attempts"] < 0:
+            raise ValueError(
+                f"experiment row {row['id']!r} has invalid attempts "
+                f"{row['attempts']!r}"
+            )
+        if row["status"] in ("ok", "retried") and row["attempts"] < 1:
+            raise ValueError(
+                f"experiment row {row['id']!r} completed with zero attempts"
+            )
+        if row["passed"] and row["status"] in DEGRADED_STATUSES:
+            raise ValueError(
+                f"experiment row {row['id']!r} cannot pass with status "
+                f"{row['status']!r}"
+            )
     totals = manifest["totals"]
     if totals["passed"] + totals["failed"] != totals["experiments"]:
         raise ValueError("manifest totals are inconsistent")
     if totals["experiments"] != len(rows):
         raise ValueError("manifest totals disagree with the experiment rows")
+    degraded_rows = sum(1 for row in rows if row["status"] in DEGRADED_STATUSES)
+    if totals.get("degraded") != degraded_rows:
+        raise ValueError("manifest totals.degraded disagrees with the row statuses")
+    if bool(manifest["degraded"]) != (degraded_rows > 0):
+        raise ValueError("manifest 'degraded' flag disagrees with the row statuses")
     metrics = manifest["metrics"]
     if not isinstance(metrics, dict):
         raise ValueError("manifest 'metrics' must be an object")

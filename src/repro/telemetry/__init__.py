@@ -16,12 +16,13 @@ from repro.telemetry.counters import (
     region_average_utilization,
     subscription_region_utilization,
 )
-from repro.telemetry.io import load_trace, save_trace
+from repro.telemetry.io import TraceCorruptionError, load_trace, save_trace
 
 __all__ = [
     "Cloud",
     "EventKind",
     "EventRecord",
+    "TraceCorruptionError",
     "TraceMetadata",
     "TraceStore",
     "VMRecord",

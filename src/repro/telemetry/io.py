@@ -5,17 +5,28 @@ A trace saves to a directory with four files:
 * ``metadata.json`` -- window duration, sample period, label;
 * ``topology.json`` -- regions, clusters, nodes, subscriptions;
 * ``vms.jsonl`` / ``events.jsonl`` -- one JSON object per row;
-* ``utilization.npz`` -- one float32 array per VM (key = vm id).
+* ``utilization.npz`` -- one float32 array per VM (key = vm id);
+* ``checksums.json`` -- sha256 + byte size of every other file, written
+  last so readers can detect truncated or bit-rotted entries.
 
 ``ended_at = inf`` (right-censored VMs) is encoded as JSON ``null``.
+
+Corruption handling: :func:`verify_trace_dir` (and :func:`load_trace`,
+which calls it) raise the typed :class:`TraceCorruptionError` on missing,
+truncated, unparseable, or checksum-mismatched files instead of leaking
+``KeyError``/``EOFError``/``BadZipFile`` from whichever parser happened
+to trip first.  Callers like the trace cache catch that one type, evict
+the entry, and fall back to re-synthesis.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import shutil
 import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -38,10 +49,26 @@ from repro.telemetry.store import TraceMetadata, TraceStore
 #: optional: traces generated without telemetry omit it).
 TRACE_FILES = ("metadata.json", "topology.json", "vms.jsonl", "events.jsonl")
 
+#: Integrity sidecar written last by :func:`save_trace`; absent from
+#: traces saved by older versions (integrity then degrades to existence
+#: and non-emptiness checks).
+CHECKSUM_FILE = "checksums.json"
+
 _BYTES_WRITTEN = Counter("io.bytes_written")
 _BYTES_READ = Counter("io.bytes_read")
 _TRACES_WRITTEN = Counter("io.traces_written")
 _TRACES_READ = Counter("io.traces_read")
+_TMP_LEAKED = Counter("io.tmp_cleanup_failed")
+
+
+class TraceCorruptionError(RuntimeError):
+    """A saved trace directory is unreadable.
+
+    Raised for missing or truncated files, checksum mismatches, and
+    payloads that no longer parse -- one typed error callers can catch to
+    evict and regenerate, instead of the grab-bag of ``KeyError`` /
+    ``EOFError`` / ``BadZipFile`` the underlying parsers produce.
+    """
 
 
 def _trace_bytes(directory: Path) -> int:
@@ -49,10 +76,72 @@ def _trace_bytes(directory: Path) -> int:
     return sum(p.stat().st_size for p in directory.iterdir() if p.is_file())
 
 
-def is_trace_dir(directory: str | Path) -> bool:
-    """Whether ``directory`` holds a complete saved trace."""
+def _file_sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def is_trace_dir(directory: str | Path, *, check_integrity: bool = False) -> bool:
+    """Whether ``directory`` holds a complete saved trace.
+
+    The default is a cheap presence check (False for missing files, never
+    raises).  With ``check_integrity=True`` a structurally complete
+    directory is additionally verified via :func:`verify_trace_dir`, so
+    truncated or checksum-mismatched entries raise
+    :class:`TraceCorruptionError` instead of passing as valid.
+    """
     directory = Path(directory)
-    return all((directory / name).is_file() for name in TRACE_FILES)
+    if not all((directory / name).is_file() for name in TRACE_FILES):
+        return False
+    if check_integrity:
+        verify_trace_dir(directory)
+    return True
+
+
+def verify_trace_dir(directory: str | Path) -> Path:
+    """Check a saved trace's integrity; raises :class:`TraceCorruptionError`.
+
+    Every required file must exist and be non-empty; when the
+    ``checksums.json`` sidecar is present (traces saved by this version),
+    every recorded file must also match its byte size and sha256 digest.
+    Returns the directory so callers can chain into :func:`load_trace`.
+    """
+    directory = Path(directory)
+    for name in TRACE_FILES:
+        path = directory / name
+        if not path.is_file():
+            raise TraceCorruptionError(f"trace {directory} is missing {name}")
+        # An empty JSON document is always torn; empty *.jsonl files are
+        # legitimate (a trace with no VMs or events).
+        if name.endswith(".json") and path.stat().st_size == 0:
+            raise TraceCorruptionError(f"trace {directory} has empty {name}")
+    sidecar = directory / CHECKSUM_FILE
+    if not sidecar.is_file():
+        return directory
+    try:
+        recorded = json.loads(sidecar.read_text())["files"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise TraceCorruptionError(
+            f"trace {directory} has an unreadable {CHECKSUM_FILE}: {exc}"
+        ) from exc
+    for name, entry in recorded.items():
+        path = directory / name
+        if not path.is_file():
+            raise TraceCorruptionError(f"trace {directory} is missing {name}")
+        size = path.stat().st_size
+        if size != entry.get("bytes"):
+            raise TraceCorruptionError(
+                f"trace {directory} has truncated {name} "
+                f"({size} bytes, expected {entry.get('bytes')})"
+            )
+        if _file_sha256(path) != entry.get("sha256"):
+            raise TraceCorruptionError(
+                f"trace {directory} has a checksum mismatch in {name}"
+            )
+    return directory
 
 
 def save_trace_atomic(store: TraceStore, directory: str | Path) -> Path:
@@ -74,8 +163,26 @@ def save_trace_atomic(store: TraceStore, directory: str | Path) -> Path:
             if not is_trace_dir(directory):
                 raise
     finally:
-        shutil.rmtree(tmp, ignore_errors=True)
+        _cleanup_tmp_dir(tmp)
     return directory
+
+
+def _cleanup_tmp_dir(tmp: Path) -> None:
+    """Remove an atomic-write staging directory, accounting for failures.
+
+    A cleanup failure must not mask the write's own outcome, but it may
+    not be silent either: a leaked ``*.tmp-*`` directory slowly fills the
+    cache volume, so the leak is recorded on the ``io.tmp_cleanup_failed``
+    counter and as an ``io.tmp_cleanup_failed`` span event.
+    """
+    try:
+        shutil.rmtree(tmp)
+    except FileNotFoundError:
+        pass
+    except OSError as exc:
+        _TMP_LEAKED.inc()
+        with span("io.tmp_cleanup_failed", path=str(tmp), error=str(exc)):
+            pass
 
 
 def save_trace(store: TraceStore, directory: str | Path) -> Path:
@@ -121,14 +228,46 @@ def _save_trace(store: TraceStore, directory: Path) -> Path:
 
     arrays = {str(vm_id): series for vm_id, series in store.iter_utilization()}
     np.savez_compressed(directory / "utilization.npz", **arrays)
+
+    # The integrity sidecar goes last: its presence implies every hashed
+    # file was fully written, so a torn save can never verify.
+    payload = {
+        "algorithm": "sha256",
+        "files": {
+            path.name: {"sha256": _file_sha256(path), "bytes": path.stat().st_size}
+            for path in sorted(directory.iterdir())
+            if path.is_file() and path.name != CHECKSUM_FILE
+        },
+    }
+    (directory / CHECKSUM_FILE).write_text(json.dumps(payload, indent=2))
     return directory
 
 
 def load_trace(directory: str | Path) -> TraceStore:
-    """Read a trace previously written by :func:`save_trace`."""
+    """Read a trace previously written by :func:`save_trace`.
+
+    Integrity is checked first (:func:`verify_trace_dir`), and any parse
+    failure in the payload files is re-raised as
+    :class:`TraceCorruptionError` -- callers see one typed error for every
+    way a trace can rot on disk.
+    """
     directory = Path(directory)
+    verify_trace_dir(directory)
     with span("io.load_trace", path=str(directory)):
-        store = _load_trace(directory)
+        try:
+            store = _load_trace(directory)
+        except (
+            json.JSONDecodeError,
+            KeyError,
+            TypeError,
+            ValueError,
+            EOFError,
+            zipfile.BadZipFile,
+            OSError,
+        ) as exc:
+            raise TraceCorruptionError(
+                f"trace {directory} failed to parse: {type(exc).__name__}: {exc}"
+            ) from exc
     _TRACES_READ.inc()
     _BYTES_READ.inc(_trace_bytes(directory))
     return store

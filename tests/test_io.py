@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.telemetry.io import load_trace, save_trace
 from repro.telemetry.schema import (
@@ -109,41 +107,74 @@ def test_generated_trace_round_trip(small_trace, tmp_path):
 
 
 # ----------------------------------------------------------------------
-# property-based round trips
+# property-based round trips (hypothesis optional, stdlib fallback)
 # ----------------------------------------------------------------------
-finite_time = st.floats(min_value=-1e6, max_value=604800.0, allow_nan=False)
+from tests.proputil import HAVE_HYPOTHESIS, given, seeded_rngs, settings, st  # noqa: E402
 
 
-@st.composite
-def vm_rows(draw, vm_id):
-    created = draw(finite_time)
-    censored = draw(st.booleans())
-    if censored:
-        ended = float("inf")
-    else:
-        ended = created + draw(st.floats(min_value=1.0, max_value=1e6))
-    return make_vm(
-        vm_id,
-        cloud=draw(st.sampled_from([Cloud.PRIVATE, Cloud.PUBLIC])),
-        region=draw(st.sampled_from(["us-east", "eu-west"])),
-        cores=float(draw(st.sampled_from([1, 2, 4, 8, 64]))),
-        created_at=created,
-        ended_at=ended,
-        pattern=draw(st.sampled_from(["", "diurnal", "stable"])),
-        offering=draw(st.sampled_from(["iaas", "paas", "saas"])),
-    )
-
-
-@given(st.data(), st.integers(1, 12))
-@settings(max_examples=25, deadline=None)
-def test_property_round_trip_vm_rows(tmp_path_factory, data, n_vms):
-    store = TraceStore()
-    for vm_id in range(n_vms):
-        store.add_vm(data.draw(vm_rows(vm_id)))
-    directory = tmp_path_factory.mktemp("prop_trace")
+def _assert_vm_round_trip(store: TraceStore, directory) -> None:
+    """The property both generators exercise: save/load is the identity."""
     save_trace(store, directory)
     loaded = load_trace(directory)
     assert len(loaded) == len(store)
     for vm in store.vms():
         other = loaded.vm(vm.vm_id)
         assert other == vm
+
+
+if HAVE_HYPOTHESIS:
+    finite_time = st.floats(min_value=-1e6, max_value=604800.0, allow_nan=False)
+
+    @st.composite
+    def vm_rows(draw, vm_id):
+        created = draw(finite_time)
+        censored = draw(st.booleans())
+        if censored:
+            ended = float("inf")
+        else:
+            ended = created + draw(st.floats(min_value=1.0, max_value=1e6))
+        return make_vm(
+            vm_id,
+            cloud=draw(st.sampled_from([Cloud.PRIVATE, Cloud.PUBLIC])),
+            region=draw(st.sampled_from(["us-east", "eu-west"])),
+            cores=float(draw(st.sampled_from([1, 2, 4, 8, 64]))),
+            created_at=created,
+            ended_at=ended,
+            pattern=draw(st.sampled_from(["", "diurnal", "stable"])),
+            offering=draw(st.sampled_from(["iaas", "paas", "saas"])),
+        )
+
+    @given(st.data(), st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_property_round_trip_vm_rows(tmp_path_factory, data, n_vms):
+        store = TraceStore()
+        for vm_id in range(n_vms):
+            store.add_vm(data.draw(vm_rows(vm_id)))
+        _assert_vm_round_trip(store, tmp_path_factory.mktemp("prop_trace"))
+
+else:
+
+    def _random_vm(rng, vm_id):
+        created = rng.uniform(-1e6, 604800.0)
+        if rng.random() < 0.5:
+            ended = float("inf")
+        else:
+            ended = created + rng.uniform(1.0, 1e6)
+        return make_vm(
+            vm_id,
+            cloud=rng.choice([Cloud.PRIVATE, Cloud.PUBLIC]),
+            region=rng.choice(["us-east", "eu-west"]),
+            cores=float(rng.choice([1, 2, 4, 8, 64])),
+            created_at=created,
+            ended_at=ended,
+            pattern=rng.choice(["", "diurnal", "stable"]),
+            offering=rng.choice(["iaas", "paas", "saas"]),
+        )
+
+    @pytest.mark.parametrize("case", range(len(seeded_rngs(25))))
+    def test_property_round_trip_vm_rows(tmp_path_factory, case):
+        rng = seeded_rngs(25)[case]
+        store = TraceStore()
+        for vm_id in range(rng.randint(1, 12)):
+            store.add_vm(_random_vm(rng, vm_id))
+        _assert_vm_round_trip(store, tmp_path_factory.mktemp("prop_trace"))

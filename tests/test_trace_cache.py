@@ -113,6 +113,36 @@ class TestSaveTraceAtomic:
         assert is_trace_dir(target)
         assert len(load_trace(target)) == len(store)
 
+    def test_failed_save_leaves_no_tmp_residue(self, tmp_path, monkeypatch):
+        store, _ = cache.fetch_trace(SMALL, cache_dir=tmp_path, use_cache=False)
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.telemetry.io.save_trace", explode)
+        target = tmp_path / "doomed" / "trace"
+        with pytest.raises(OSError, match="disk full"):
+            save_trace_atomic(store, target)
+        # The staging directory is cleaned up even though the save failed.
+        assert not target.exists()
+        assert [p for p in target.parent.iterdir() if ".tmp" in p.name] == []
+
+    def test_cleanup_failure_is_counted_not_raised(self, tmp_path, monkeypatch):
+        from repro.obs import metrics
+        from repro.telemetry import io as telemetry_io
+
+        store, _ = cache.fetch_trace(SMALL, cache_dir=tmp_path, use_cache=False)
+
+        def broken_rmtree(path, **kwargs):
+            raise OSError("cleanup denied")
+
+        monkeypatch.setattr(telemetry_io.shutil, "rmtree", broken_rmtree)
+        before = metrics.REGISTRY.counter_value("io.tmp_cleanup_failed")
+        target = tmp_path / "leaky" / "trace"
+        save_trace_atomic(store, target)  # the save itself must still succeed
+        assert is_trace_dir(target)
+        assert metrics.REGISTRY.counter_value("io.tmp_cleanup_failed") == before + 1
+
 
 class TestExperimentConfigMemo:
     def test_memoized_within_process(self, tmp_path):

@@ -1,0 +1,143 @@
+"""Regression tests: corrupted on-disk traces raise typed errors and heal.
+
+A truncated or torn cache entry used to surface as whatever the parser
+tripped over first (``KeyError``, ``EOFError``, ``BadZipFile`` ...).  The
+contract now is a single typed :class:`TraceCorruptionError` from
+``verify_trace_dir``/``load_trace``, and ``fetch_trace`` treating it as a
+miss: evict, re-synthesize, re-save.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import cache
+from repro.experiments.config import clear_trace_cache
+from repro.experiments.faultinject import corrupt_trace_dir
+from repro.obs import metrics
+from repro.telemetry.io import (
+    CHECKSUM_FILE,
+    TRACE_FILES,
+    TraceCorruptionError,
+    is_trace_dir,
+    load_trace,
+    save_trace,
+    verify_trace_dir,
+)
+from repro.telemetry.schema import Cloud, EventKind, EventRecord
+from repro.telemetry.store import TraceStore
+from repro.workloads.generator import GeneratorConfig
+from tests.test_store import make_vm
+
+SMALL = GeneratorConfig(seed=3, scale=0.05)
+
+#: Everything a fresh save writes, sidecar included.
+ALL_FILES = TRACE_FILES + ("utilization.npz",)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_memo():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+@pytest.fixture()
+def trace_dir(tmp_path):
+    """A freshly saved small trace (VMs, events, telemetry, sidecar)."""
+    store = TraceStore()
+    store.add_vm(make_vm(1, created_at=0.0, ended_at=3600.0))
+    store.add_vm(make_vm(2, cloud=Cloud.PUBLIC, created_at=10.0))
+    store.add_event(
+        EventRecord(3600.0, EventKind.TERMINATE, 1, Cloud.PRIVATE, "us-east")
+    )
+    store.add_utilization(
+        1, np.linspace(0.1, 0.9, store.metadata.n_samples).astype(np.float32)
+    )
+    directory = tmp_path / "trace"
+    save_trace(store, directory)
+    return directory
+
+
+class TestTypedCorruptionErrors:
+    @pytest.mark.parametrize("filename", ALL_FILES)
+    def test_truncating_any_file_raises_typed_error(self, trace_dir, filename):
+        corrupt_trace_dir(trace_dir, filename)
+        with pytest.raises(TraceCorruptionError, match=filename):
+            verify_trace_dir(trace_dir)
+        with pytest.raises(TraceCorruptionError):
+            load_trace(trace_dir)
+        # Presence-only probe still says "looks like a trace" ...
+        assert is_trace_dir(trace_dir)
+        # ... but the integrity-checking probe raises the same typed error.
+        with pytest.raises(TraceCorruptionError):
+            is_trace_dir(trace_dir, check_integrity=True)
+
+    @pytest.mark.parametrize("filename", TRACE_FILES)
+    def test_missing_file_is_not_a_trace_dir(self, trace_dir, filename):
+        (trace_dir / filename).unlink()
+        assert not is_trace_dir(trace_dir)
+        with pytest.raises(TraceCorruptionError, match="missing"):
+            load_trace(trace_dir)
+
+    def test_empty_json_document_is_corrupt(self, trace_dir):
+        (trace_dir / "metadata.json").write_bytes(b"")
+        with pytest.raises(TraceCorruptionError, match="empty"):
+            verify_trace_dir(trace_dir)
+
+    def test_unreadable_sidecar_is_corrupt(self, trace_dir):
+        (trace_dir / CHECKSUM_FILE).write_text("{not json")
+        with pytest.raises(TraceCorruptionError, match=CHECKSUM_FILE):
+            verify_trace_dir(trace_dir)
+
+    def test_legacy_trace_without_sidecar_still_loads(self, trace_dir):
+        (trace_dir / CHECKSUM_FILE).unlink()
+        verify_trace_dir(trace_dir)
+        assert len(load_trace(trace_dir)) == 2
+
+    def test_legacy_trace_truncation_caught_by_parser(self, trace_dir):
+        """Without a sidecar, parse failure still maps to the typed error."""
+        (trace_dir / CHECKSUM_FILE).unlink()
+        corrupt_trace_dir(trace_dir, "metadata.json")
+        with pytest.raises(TraceCorruptionError):
+            load_trace(trace_dir)
+
+    def test_sidecar_records_all_payload_files(self, trace_dir):
+        recorded = json.loads((trace_dir / CHECKSUM_FILE).read_text())
+        assert recorded["algorithm"] == "sha256"
+        assert set(recorded["files"]) == set(ALL_FILES)
+        for entry in recorded["files"].values():
+            assert set(entry) == {"sha256", "bytes"}
+
+
+class TestFetchTraceRecovery:
+    @pytest.mark.parametrize("filename", ALL_FILES)
+    def test_recovers_from_any_corrupted_file(self, tmp_path, filename):
+        store, cold = cache.fetch_trace(SMALL, cache_dir=tmp_path)
+        corrupt_trace_dir(cold.path, filename)
+        before = metrics.REGISTRY.counter_value("cache.corrupt_evicted")
+
+        recovered, info = cache.fetch_trace(SMALL, cache_dir=tmp_path)
+        assert info.evicted_corrupt
+        assert not info.hit
+        assert info.source == "generated"
+        assert metrics.REGISTRY.counter_value("cache.corrupt_evicted") == before + 1
+        assert recovered.summary() == store.summary()
+
+    def test_recovery_rewrites_a_valid_entry(self, tmp_path):
+        _, cold = cache.fetch_trace(SMALL, cache_dir=tmp_path)
+        corrupt_trace_dir(cold.path)
+        cache.fetch_trace(SMALL, cache_dir=tmp_path)  # evicts + re-saves
+        verify_trace_dir(cold.path)
+        _, warm = cache.fetch_trace(SMALL, cache_dir=tmp_path)
+        assert warm.hit and not warm.evicted_corrupt
+
+    def test_clean_entries_never_report_eviction(self, tmp_path):
+        cache.fetch_trace(SMALL, cache_dir=tmp_path)
+        before = metrics.REGISTRY.counter_value("cache.corrupt_evicted")
+        _, info = cache.fetch_trace(SMALL, cache_dir=tmp_path)
+        assert info.hit and not info.evicted_corrupt
+        assert metrics.REGISTRY.counter_value("cache.corrupt_evicted") == before
