@@ -27,7 +27,7 @@ def sparkline(values: np.ndarray, *, width: int = 64) -> str:
         edges = np.linspace(0, values.size, width + 1).astype(int)
         bucketed = np.array(
             [values[a:b].mean() if b > a else values[min(a, values.size - 1)]
-             for a, b in zip(edges[:-1], edges[1:])]
+             for a, b in zip(edges[:-1], edges[1:], strict=True)]
         )
     else:
         bucketed = values
@@ -104,5 +104,6 @@ def side_by_side(left: str, right: str, *, gap: int = 4) -> str:
     right_lines += [""] * (height - len(right_lines))
     width = max((len(line) for line in left_lines), default=0)
     return "\n".join(
-        f"{l.ljust(width)}{' ' * gap}{r}" for l, r in zip(left_lines, right_lines)
+        f"{l.ljust(width)}{' ' * gap}{r}"
+        for l, r in zip(left_lines, right_lines, strict=True)
     )

@@ -115,8 +115,10 @@ class PercentileBands:
         """Return the series for one of the configured percentiles."""
         try:
             idx = self.percentiles.index(percentile)
-        except ValueError:
-            raise KeyError(f"percentile {percentile} not computed; have {self.percentiles}")
+        except ValueError as exc:
+            raise KeyError(
+                f"percentile {percentile} not computed; have {self.percentiles}"
+            ) from exc
         return self.bands[idx]
 
 

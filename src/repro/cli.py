@@ -11,6 +11,8 @@ Subcommands::
                             (alias: repro-cloud run ...)
     repro-cloud kb          [--trace trace_dir] [--out kb.json]
     repro-cloud case-study  [--seed 11]
+    repro-cloud lint        [paths...] [--format text|json] [--baseline PATH]
+                            [--select/--ignore CODES] [--write-baseline]
 
 (Also runnable as ``python -m repro ...``.)
 
@@ -25,7 +27,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 
@@ -45,20 +46,23 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _load_or_generate(args: argparse.Namespace):
+    from repro.obs import span
     from repro.telemetry.io import load_trace
     from repro.workloads.generator import GeneratorConfig, generate_trace_pair
 
     if args.trace:
         return load_trace(args.trace)
-    t0 = time.time()
-    store = generate_trace_pair(
-        GeneratorConfig(seed=args.seed, scale=args.scale),
-        workers=getattr(args, "workers", 1),
-    )
+    # Timing goes through an obs span (REP002): the CLI reads the elapsed
+    # wall time off the span record instead of touching the clock itself.
+    with span("cli.generate_trace", seed=args.seed, scale=args.scale) as timing:
+        store = generate_trace_pair(
+            GeneratorConfig(seed=args.seed, scale=args.scale),
+            workers=getattr(args, "workers", 1),
+        )
     print(
         f"generated {len(store)} VMs "
         f"({store.summary()['utilization_series']} with telemetry) "
-        f"in {time.time() - t0:.1f}s",
+        f"in {timing.wall_s:.1f}s",
         file=sys.stderr,
     )
     return store
@@ -273,6 +277,12 @@ def _cmd_case_study(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lintkit.cli import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -384,6 +394,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_case = sub.add_parser("case-study", help="run the Canada region-shift pilot")
     p_case.add_argument("--seed", type=int, default=11)
     p_case.set_defaults(func=_cmd_case_study)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the determinism & invariant linter (REP001-REP006, "
+        "see docs/LINTING.md)",
+    )
+    from repro.lintkit.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

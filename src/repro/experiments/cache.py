@@ -60,17 +60,55 @@ def resolve_cache_dir(cache_dir: str | Path | None = None) -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+#: The :class:`GeneratorConfig` fields that parameterize the generated
+#: trace and therefore enter the cache key.  REP003 (``repro.lintkit``)
+#: statically cross-checks this tuple against the dataclass, and
+#: :func:`config_hash` re-checks at runtime: a new config knob cannot be
+#: added without either landing here (changing the key) or being listed
+#: in :data:`CACHE_KEY_EXEMPT` with a justification.
+CACHE_KEY_FIELDS: tuple[str, ...] = (
+    "seed",
+    "scale",
+    "duration",
+    "synthesize_utilization",
+    "placement_policy",
+    "holiday_week",
+    "telemetry_batch",
+)
+
+#: Fields deliberately excluded from the cache key because they cannot
+#: change the generated trace.  Empty today; every entry needs a comment
+#: explaining why the knob is output-invariant.
+CACHE_KEY_EXEMPT: frozenset[str] = frozenset()
+
+
+class CacheKeyCoverageError(ValueError):
+    """A ``GeneratorConfig`` field is neither keyed nor explicitly exempt."""
+
+
 def config_hash(config: GeneratorConfig) -> str:
     """A stable content hash of ``config`` plus the generator version.
 
-    Every :class:`GeneratorConfig` field participates, so any knob that
-    could change the generated trace changes the key; enum fields hash by
-    value so the key survives module reloads and interpreter restarts.
+    Every field named in :data:`CACHE_KEY_FIELDS` participates; enum
+    fields hash by value so the key survives module reloads and
+    interpreter restarts.  Coverage is validated on every call (and
+    statically by lintkit's REP003): a field that is neither keyed nor in
+    :data:`CACHE_KEY_EXEMPT` raises :class:`CacheKeyCoverageError` instead
+    of silently colliding cache entries across configs.
     """
+    names = {field.name for field in dataclasses.fields(config)}
+    missing = names - set(CACHE_KEY_FIELDS) - CACHE_KEY_EXEMPT
+    stale = set(CACHE_KEY_FIELDS) - names
+    if missing or stale:
+        raise CacheKeyCoverageError(
+            f"cache key out of sync with GeneratorConfig: "
+            f"unkeyed fields {sorted(missing)}, stale entries {sorted(stale)}; "
+            "update CACHE_KEY_FIELDS or CACHE_KEY_EXEMPT in repro.experiments.cache"
+        )
     payload: dict[str, object] = {"generator_version": GENERATOR_VERSION}
-    for field in dataclasses.fields(config):
-        value = getattr(config, field.name)
-        payload[field.name] = getattr(value, "value", value)
+    for name in CACHE_KEY_FIELDS:
+        value = getattr(config, name)
+        payload[name] = getattr(value, "value", value)
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
     return hashlib.sha256(canonical.encode()).hexdigest()[:20]
 

@@ -108,7 +108,7 @@ def build_canada_scenario(seed: int = 11) -> TraceStore:
     # Canada-B: small Service-X footprint; plenty of idle capacity.
     for i in range(6):
         add_vm(1, SERVICE_X, "canada-b", 300, PATTERN_DIURNAL, service_x_series(i < 4))
-    for i in range(20):
+    for _ in range(20):
         add_vm(2, "filler", "canada-b", 400, PATTERN_STABLE, filler_series(False))
     return store
 

@@ -36,7 +36,7 @@ def _export_value(directory: Path, name: str, value) -> Path | None:
         isinstance(v, np.ndarray) for v in value
     ):
         # CDF points: (values, probabilities).
-        _write_rows(path, ["value", "probability"], zip(value[0], value[1]))
+        _write_rows(path, ["value", "probability"], zip(value[0], value[1], strict=True))
         return path
 
     if isinstance(value, np.ndarray) and value.ndim == 1:

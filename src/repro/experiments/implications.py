@@ -41,7 +41,7 @@ def run_oversubscription(
     improvements = [gain for _outcome, gain in outcomes]
     result.check(
         "utilization gain grows as the safety constraint loosens",
-        all(a >= b - 1e-9 for a, b in zip(improvements, improvements[1:])),
+        all(a >= b - 1e-9 for a, b in zip(improvements, improvements[1:], strict=False)),
         "20% (tight) to 86% (loose)",
         " / ".join(f"eps={o.epsilon:g}:{g:+.0%}" for o, g in outcomes),
     )

@@ -316,6 +316,7 @@ def _run_inline_with_retries(
 ) -> TaskOutcome:
     """One task, in-process, with the retry policy but no hard isolation."""
     errors: list[str] = []
+    # lint: allow[REP002] -- retry bookkeeping clock; task timing uses spans
     t0 = time.perf_counter()
     for attempt in range(1, policy.max_attempts + 1):
         try:
@@ -337,7 +338,7 @@ def _run_inline_with_retries(
     return TaskOutcome(
         task_id=task.task_id,
         result=None,
-        wall_time_s=time.perf_counter() - t0,
+        wall_time_s=time.perf_counter() - t0,  # lint: allow[REP002] -- see t0 above
         status="failed",
         attempts=policy.max_attempts,
         error="; ".join(errors),
@@ -367,6 +368,9 @@ def _worker_entry(
             task_id, config, cache_dir=cache_dir, use_cache=use_cache, attempt=attempt
         )
         conn.send(("ok", outcome))
+    # Worker-side last resort: the error crosses the pipe and the supervisor
+    # counts it on task.failed / retry.attempts.
+    # lint: allow[REP004] -- swallow is observable via supervisor counters
     except BaseException as exc:  # noqa: BLE001 - the supervisor triages
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -428,7 +432,7 @@ def _run_isolated(
     def launch(index: int) -> None:
         state = states[index]
         state.attempts += 1
-        now = time.monotonic()
+        now = time.monotonic()  # lint: allow[REP002] -- scheduler deadline clock
         if state.first_started is None:
             state.first_started = now
         recv, send = ctx.Pipe(duplex=False)
@@ -458,6 +462,7 @@ def _run_isolated(
     def finalize_failure(index: int, status: str) -> None:
         state = states[index]
         (_TASKS_TIMEOUT if status == "timeout" else _TASKS_FAILED).inc()
+        # lint: allow[REP002] -- failure wall-time for the manifest row only
         elapsed = time.monotonic() - (state.first_started or time.monotonic())
         outcomes[index] = TaskOutcome(
             task_id=state.task.task_id,
@@ -492,13 +497,14 @@ def _run_isolated(
         state.errors.append(f"attempt {state.attempts}: {message}")
         if state.attempts < policy.max_attempts:
             _RETRY_ATTEMPTS.inc()
+            # lint: allow[REP002] -- backoff eligibility is a scheduler deadline
             eligible = time.monotonic() + policy.backoff_for(state.attempts)
             ready.append((eligible, index))
         else:
             finalize_failure(index, "timeout" if timed_out else "failed")
 
     while ready or running:
-        now = time.monotonic()
+        now = time.monotonic()  # lint: allow[REP002] -- scheduler deadline clock
         # Launch eligible attempts into free slots, lowest index first so
         # cold starts follow registry order deterministically.
         ready.sort(key=lambda item: item[1])

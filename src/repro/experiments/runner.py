@@ -124,6 +124,9 @@ def run_pipeline(
     """
     config = config or ExperimentConfig()
     policy = policy if policy is not None else config.retry_policy()
+    # Every structured timing below this goes through spans; this clock only
+    # feeds the manifest's whole-run wall-time total.
+    # lint: allow[REP002] -- whole-run wall time for the manifest totals
     t0 = time.perf_counter()
     span_mark = mark()
     with MetricsScope() as scope:
@@ -145,7 +148,7 @@ def run_pipeline(
         trace_info=trace_info,
         cache_dir=cache_dir,
         use_cache=use_cache,
-        elapsed_s=time.perf_counter() - t0,
+        elapsed_s=time.perf_counter() - t0,  # lint: allow[REP002] -- see t0 above
         metrics=metrics,
         policy=policy,
     )

@@ -1,0 +1,50 @@
+"""repro.lintkit: dependency-free determinism & invariant linter.
+
+A custom AST analysis pass enforcing the reproducibility contract that
+ruff/flake8 cannot express:
+
+====== ============================================================
+REP001 unseeded randomness (legacy ``np.random.*``, stdlib ``random``)
+REP002 wall-clock reads outside ``repro/obs`` (core paths use spans)
+REP003 ``GeneratorConfig`` fields must enter the trace-cache key
+REP004 broad ``except`` that neither re-raises nor counts the swallow
+REP005 unsorted dict/set iteration feeding hashing/dispatch sinks
+REP006 metric/span naming convention + unique metric registration
+====== ============================================================
+
+Run it as ``python -m repro lint`` or ``python -m repro.lintkit``; the
+rule catalog and suppression workflow are documented in
+``docs/LINTING.md``.  Everything here is pure standard library.
+"""
+
+from repro.lintkit.baseline import (
+    apply_baseline,
+    build_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lintkit.framework import (
+    Diagnostic,
+    FileContext,
+    LintResult,
+    Rule,
+    lint_paths,
+)
+from repro.lintkit.report import render_json, render_text
+from repro.lintkit.rules import RULE_INDEX, default_rules
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "LintResult",
+    "RULE_INDEX",
+    "Rule",
+    "apply_baseline",
+    "build_baseline",
+    "default_rules",
+    "lint_paths",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.lintkit`` runs the standalone linter CLI."""
+
+from repro.lintkit.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""Baseline files: grandfather existing findings without weakening the gate.
+
+A baseline is a committed JSON file recording the *fingerprints* of
+findings that predate a rule (or that a migration will burn down later).
+Lint runs subtract baselined findings, so CI fails only on findings the
+baseline does not cover -- new violations can never ride in on old ones.
+
+Fingerprints hash ``path + code + source snippet`` (see
+:class:`~repro.lintkit.framework.Diagnostic.fingerprint`), so a recorded
+finding keeps matching when unrelated edits shift its line number, and
+stops matching -- resurfacing the finding -- as soon as the offending
+line itself changes.  Identical offending lines in one file share a
+fingerprint; the entry's ``count`` caps how many the baseline absorbs.
+
+Workflow::
+
+    python -m repro lint --write-baseline          # record current findings
+    python -m repro lint                           # clean: exits 0
+    # ... someone adds a new violation ...
+    python -m repro lint                           # exits 1, new finding only
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lintkit.framework import Diagnostic
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: Default baseline filename, looked up in the current directory.
+DEFAULT_BASELINE_NAME = "lintkit-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, malformed, or wrong-versioned."""
+
+
+def build_baseline(diagnostics: list[Diagnostic]) -> dict:
+    """A baseline document covering exactly ``diagnostics``."""
+    entries: dict[str, dict] = {}
+    for diag in sorted(diagnostics, key=Diagnostic.sort_key):
+        entry = entries.get(diag.fingerprint)
+        if entry is None:
+            entries[diag.fingerprint] = {
+                "code": diag.code,
+                "path": diag.path,
+                "line": diag.line,
+                "snippet": diag.snippet,
+                "count": 1,
+            }
+        else:
+            entry["count"] += 1
+    return {"schema_version": BASELINE_SCHEMA_VERSION, "entries": entries}
+
+
+def write_baseline(diagnostics: list[Diagnostic], path: str | Path) -> Path:
+    """Serialize :func:`build_baseline` to ``path`` (pretty, newline-terminated)."""
+    path = Path(path)
+    document = build_baseline(diagnostics)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Read and validate a baseline document."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BaselineError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from None
+    if not isinstance(document, dict) or "entries" not in document:
+        raise BaselineError(f"baseline {path} has no 'entries' mapping")
+    version = document.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"baseline {path} has schema_version {version!r}; "
+            f"this tool reads version {BASELINE_SCHEMA_VERSION}"
+        )
+    return document
+
+
+def apply_baseline(
+    diagnostics: list[Diagnostic], baseline: dict
+) -> tuple[list[Diagnostic], int]:
+    """Split findings into (surviving, number suppressed by the baseline).
+
+    Each baseline entry absorbs at most ``count`` findings with its
+    fingerprint; any excess (the same bad line pasted again) survives.
+    """
+    budget = {
+        fingerprint: int(entry.get("count", 1))
+        for fingerprint, entry in baseline.get("entries", {}).items()
+    }
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for diag in diagnostics:
+        remaining = budget.get(diag.fingerprint, 0)
+        if remaining > 0:
+            budget[diag.fingerprint] = remaining - 1
+            suppressed += 1
+        else:
+            kept.append(diag)
+    return kept, suppressed

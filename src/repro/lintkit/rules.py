@@ -1,0 +1,674 @@
+"""The REP001-REP006 rule set: repo-specific determinism & invariant checks.
+
+Each rule is a small :class:`~repro.lintkit.framework.Rule` subclass over
+the shared single-parse framework.  The catalog (rationale, examples,
+suppression guidance) lives in ``docs/LINTING.md``; the docstrings here
+are the normative short form.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lintkit.framework import Diagnostic, FileContext, Rule
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The trailing name of a call's target (``x.y.sha256(...)`` -> ``sha256``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class _ImportTracker:
+    """Per-file resolution of module and symbol aliases.
+
+    ``modules`` maps a local dotted prefix to the canonical module it
+    names (``np -> numpy``, ``npr -> numpy.random``); ``symbols`` maps a
+    local bare name to its canonical dotted origin
+    (``default_rng -> numpy.random.default_rng``).
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.modules: dict[str, str] = {}
+        self.symbols: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    canonical = f"{node.module}.{alias.name}"
+                    self.symbols[alias.asname or alias.name] = canonical
+                    # ``from numpy import random`` binds a *module*.
+                    self.modules.setdefault(alias.asname or alias.name, canonical)
+
+    def canonical(self, node: ast.AST) -> str | None:
+        """Canonical dotted origin of an expression, if statically known."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.modules:
+            base = self.modules[head]
+            return f"{base}.{rest}" if rest else base
+        if head in self.symbols:
+            base = self.symbols[head]
+            return f"{base}.{rest}" if rest else base
+        return None
+
+
+# ----------------------------------------------------------------------
+# REP001: unseeded randomness
+# ----------------------------------------------------------------------
+
+#: Module-level sampling functions of the legacy ``numpy.random`` global
+#: state -- every one bypasses the config-seeded generator threading.
+_LEGACY_NP_FNS = frozenset({
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "f", "gamma", "geometric", "get_state", "gumbel",
+    "hypergeometric", "laplace", "logistic", "lognormal", "logseries",
+    "multinomial", "multivariate_normal", "negative_binomial",
+    "noncentral_chisquare", "noncentral_f", "normal", "pareto",
+    "permutation", "poisson", "power", "rand", "randint", "randn",
+    "random", "random_integers", "random_sample", "ranf", "rayleigh",
+    "sample", "seed", "set_state", "shuffle", "standard_cauchy",
+    "standard_exponential", "standard_gamma", "standard_normal",
+    "standard_t", "triangular", "uniform", "vonmises", "wald", "weibull",
+    "zipf",
+})
+
+#: Bit-generator classes: allowed *only* with an explicit seed argument
+#: (the approved pattern for fast fill streams seeded from the config
+#: stream, e.g. ``np.random.SFC64(int(rng.integers(...)))``).
+_BIT_GENERATORS = frozenset({"MT19937", "PCG64", "PCG64DXSM", "Philox", "SFC64"})
+
+#: Constructors that must carry an explicit seed/entropy argument.
+_NEEDS_SEED_ARG = _BIT_GENERATORS | {"default_rng", "SeedSequence"}
+
+_REP001_HINT = (
+    "thread a config-seeded np.random.default_rng (or a bit generator "
+    "seeded from one); see docs/LINTING.md#rep001"
+)
+
+
+class UnseededRandomnessRule(Rule):
+    """REP001: randomness that does not flow from a seeded generator.
+
+    Flags the legacy ``np.random.*`` module-level samplers, any use of
+    the nondeterministic stdlib ``random`` module, ``np.random.RandomState``,
+    and seedless constructions (``default_rng()``, ``SFC64()``,
+    ``SeedSequence()``).  Seeded-generator threading --
+    ``default_rng(seed)``, ``Generator(PCG64(seed))``, bit generators
+    seeded from an existing stream -- is the only approved pattern in the
+    determinism-critical packages (workloads/, experiments/, analysis/,
+    cloud/), and there is no legitimate use anywhere else in ``src`` either,
+    so the rule applies to every linted file.
+    """
+
+    code = "REP001"
+    name = "unseeded-randomness"
+    description = "randomness outside the seeded np.random.default_rng/Generator pattern"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        imports = _ImportTracker(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random" and not node.level:
+                yield ctx.diagnostic(
+                    self.code, node,
+                    "stdlib 'random' import: process-global, unseeded state",
+                    _REP001_HINT,
+                )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.canonical(node.func)
+            if canonical is None:
+                continue
+            diag = self._check_call(ctx, node, canonical)
+            if diag is not None:
+                yield diag
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, canonical: str
+    ) -> Diagnostic | None:
+        if canonical.startswith("random."):
+            fn = canonical.split(".", 1)[1]
+            return ctx.diagnostic(
+                self.code, node,
+                f"stdlib random.{fn}() draws from process-global, unseeded state",
+                _REP001_HINT,
+            )
+        if not canonical.startswith("numpy.random."):
+            return None
+        fn = canonical.rsplit(".", 1)[1]
+        if fn in _LEGACY_NP_FNS:
+            return ctx.diagnostic(
+                self.code, node,
+                f"np.random.{fn}() uses the unseeded legacy global state",
+                _REP001_HINT,
+            )
+        if fn == "RandomState":
+            return ctx.diagnostic(
+                self.code, node,
+                "np.random.RandomState is the legacy generator; "
+                "it does not compose with SeedSequence spawning",
+                _REP001_HINT,
+            )
+        if fn in _NEEDS_SEED_ARG and not node.args and not node.keywords:
+            return ctx.diagnostic(
+                self.code, node,
+                f"np.random.{fn}() without an explicit seed is entropy-seeded "
+                "(nondeterministic across runs)",
+                _REP001_HINT,
+            )
+        return None
+
+
+# ----------------------------------------------------------------------
+# REP002: wall-clock reads outside the observability layer
+# ----------------------------------------------------------------------
+
+_CLOCK_TIME_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+})
+_CLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+_REP002_HINT = (
+    "measure durations with repro.obs.span (record.wall_s) or justify with "
+    "'# lint: allow[REP002] -- <reason>'; see docs/LINTING.md#rep002"
+)
+
+
+class WallClockRule(Rule):
+    """REP002: wall-clock reads outside ``repro/obs``.
+
+    A clock read in an experiment or generator body leaks nondeterminism
+    into anything derived from it (cache keys, manifests, bit-identical
+    trace comparisons).  Core paths must measure time through
+    :func:`repro.obs.span`; the ``obs`` package itself is the one place
+    allowed to touch the clock.  Scheduling deadlines (executor timeouts,
+    backoff) are legitimate and carry per-line pragmas.
+    """
+
+    code = "REP002"
+    name = "wall-clock-read"
+    description = "direct clock reads outside repro/obs (use spans)"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if "obs" in ctx.parts:
+            return
+        imports = _ImportTracker(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.canonical(node.func)
+            if canonical is None:
+                continue
+            if canonical.startswith("time."):
+                fn = canonical.split(".", 1)[1]
+                if fn in _CLOCK_TIME_FNS:
+                    yield ctx.diagnostic(
+                        self.code, node,
+                        f"direct wall-clock read time.{fn}() outside repro/obs",
+                        _REP002_HINT,
+                    )
+            elif canonical.startswith("datetime."):
+                tail = canonical.rsplit(".", 1)[1]
+                middle = canonical.split(".")[1:-1]
+                if tail in _CLOCK_DATETIME_FNS and (
+                    not middle or middle[0] in ("datetime", "date")
+                ):
+                    yield ctx.diagnostic(
+                        self.code, node,
+                        f"wall-clock read {'.'.join(canonical.split('.')[-2:])}() "
+                        "outside repro/obs",
+                        _REP002_HINT,
+                    )
+
+
+# ----------------------------------------------------------------------
+# REP003: cache-key coverage of GeneratorConfig
+# ----------------------------------------------------------------------
+
+_REP003_HINT = (
+    "add the field to CACHE_KEY_FIELDS (it then changes the trace-cache key) "
+    "or to CACHE_KEY_EXEMPT with a justification comment; "
+    "see docs/LINTING.md#rep003"
+)
+
+
+class CacheKeyCoverageRule(Rule):
+    """REP003: every ``GeneratorConfig`` field must reach the cache key.
+
+    Cross-checks the dataclass fields of ``GeneratorConfig`` against the
+    fields the ``config_hash`` module consumes.  Coverage is established
+    by (in order of preference) the explicit ``CACHE_KEY_FIELDS`` tuple,
+    a generic ``for ... in dataclasses.fields(...)`` loop, or literal
+    field references inside ``config_hash`` itself.  A field that is
+    neither covered nor listed in ``CACHE_KEY_EXEMPT`` means a new knob
+    could silently poison cache keys -- exactly the bug class this rule
+    exists to prevent.  Also flags stale ``CACHE_KEY_FIELDS`` entries and
+    fields listed as both keyed and exempt.
+    """
+
+    code = "REP003"
+    name = "cache-key-coverage"
+    description = "GeneratorConfig fields must enter config_hash or CACHE_KEY_EXEMPT"
+
+    def reset(self) -> None:
+        #: (ctx, {field -> AnnAssign node}) for each GeneratorConfig found.
+        self._configs: list[tuple[FileContext, dict[str, ast.AST]]] = []
+        #: The config_hash-side module, if seen.
+        self._hash_ctx: FileContext | None = None
+        self._key_fields: dict[str, ast.AST] = {}
+        self._key_fields_node: ast.AST | None = None
+        self._exempt: set[str] = set()
+        self._explicit_refs: set[str] = set()
+        self._generic_loop = False
+        self._hash_fn_seen = False
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == "GeneratorConfig":
+                if any(
+                    (isinstance(d, ast.Name) and d.id == "dataclass")
+                    or (isinstance(d, ast.Attribute) and d.attr == "dataclass")
+                    or (
+                        isinstance(d, ast.Call)
+                        and call_name(d) == "dataclass"
+                    )
+                    for d in node.decorator_list
+                ):
+                    self._configs.append((ctx, _dataclass_fields(node)))
+            elif isinstance(node, ast.Assign):
+                names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                if "CACHE_KEY_FIELDS" in names:
+                    self._hash_ctx = ctx
+                    self._key_fields_node = node
+                    for name, value_node in _string_elements(node.value):
+                        self._key_fields.setdefault(name, value_node)
+                if "CACHE_KEY_EXEMPT" in names:
+                    self._hash_ctx = self._hash_ctx or ctx
+                    self._exempt |= {n for n, _ in _string_elements(node.value)}
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if node.target.id == "CACHE_KEY_FIELDS" and node.value is not None:
+                    self._hash_ctx = ctx
+                    self._key_fields_node = node
+                    for name, value_node in _string_elements(node.value):
+                        self._key_fields.setdefault(name, value_node)
+                if node.target.id == "CACHE_KEY_EXEMPT" and node.value is not None:
+                    self._hash_ctx = self._hash_ctx or ctx
+                    self._exempt |= {n for n, _ in _string_elements(node.value)}
+            elif isinstance(node, ast.FunctionDef) and node.name == "config_hash":
+                self._hash_fn_seen = True
+                self._hash_ctx = self._hash_ctx or ctx
+                self._scan_hash_fn(node)
+        return iter(())
+
+    def _scan_hash_fn(self, fn: ast.FunctionDef) -> None:
+        arg_names = {a.arg for a in fn.args.args}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                canonical = dotted_name(node.func) or ""
+                if canonical in ("dataclasses.fields", "fields"):
+                    self._generic_loop = True
+            elif isinstance(node, ast.Attribute):
+                if isinstance(node.value, ast.Name) and node.value.id in arg_names:
+                    self._explicit_refs.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                self._explicit_refs.add(node.value)
+
+    def finalize(self) -> Iterator[Diagnostic]:
+        if not self._configs:
+            return
+        if self._hash_ctx is None and not self._hash_fn_seen:
+            return  # no cache-key side in this lint run; nothing to cross-check
+        if self._key_fields:
+            covered = set(self._key_fields)
+        elif self._generic_loop:
+            covered = None  # generic loop covers every field by construction
+        else:
+            covered = self._explicit_refs
+        for ctx, fields in self._configs:
+            field_names = set(fields)
+            if covered is not None:
+                for name in sorted(field_names - covered - self._exempt):
+                    yield ctx.diagnostic(
+                        self.code, fields[name],
+                        f"GeneratorConfig.{name} is not in the trace-cache key: "
+                        "missing from CACHE_KEY_FIELDS and CACHE_KEY_EXEMPT",
+                        _REP003_HINT,
+                    )
+            if self._hash_ctx is not None and self._key_fields_node is not None:
+                for name in sorted(set(self._key_fields) - field_names):
+                    yield self._hash_ctx.diagnostic(
+                        self.code, self._key_fields.get(name, self._key_fields_node),
+                        f"CACHE_KEY_FIELDS names '{name}', which is not a "
+                        "GeneratorConfig field (stale entry)",
+                        "remove the stale name from CACHE_KEY_FIELDS",
+                    )
+                for name in sorted(set(self._key_fields) & self._exempt):
+                    yield self._hash_ctx.diagnostic(
+                        self.code, self._key_fields.get(name, self._key_fields_node),
+                        f"'{name}' is listed in both CACHE_KEY_FIELDS and "
+                        "CACHE_KEY_EXEMPT",
+                        "a field is either keyed or exempt, never both",
+                    )
+            break  # cross-check the first GeneratorConfig only (one per tree)
+
+
+def _dataclass_fields(node: ast.ClassDef) -> dict[str, ast.AST]:
+    """Field name -> defining node for a dataclass body (ClassVars skipped)."""
+    fields: dict[str, ast.AST] = {}
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target, ast.Name):
+            continue
+        annotation = ast.dump(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        name = stmt.target.id
+        if not name.startswith("_"):
+            fields[name] = stmt
+    return fields
+
+
+def _string_elements(node: ast.AST) -> list[tuple[str, ast.AST]]:
+    """String literals inside a tuple/list/set/frozenset(...) literal."""
+    if isinstance(node, ast.Call) and call_name(node) in ("frozenset", "set", "tuple"):
+        if node.args:
+            return _string_elements(node.args[0])
+        return []
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return [
+            (elt.value, elt)
+            for elt in node.elts
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# REP004: silently swallowed broad exceptions
+# ----------------------------------------------------------------------
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+_REP004_HINT = (
+    "re-raise, narrow the exception type, or count the swallow on a metrics "
+    "Counter (.inc()); see docs/LINTING.md#rep004"
+)
+
+
+class SilentBroadExceptRule(Rule):
+    """REP004: broad ``except`` that neither re-raises nor counts.
+
+    The silent-swallow class was fixed twice already (``io.py``,
+    ``parallel.py``): a bare/broad handler that just logs-and-continues
+    hides corruption and fault-injection outcomes from the manifest.  A
+    broad handler is acceptable only when it re-raises or increments a
+    metrics counter so the swallow is observable.
+    """
+
+    code = "REP004"
+    name = "silent-broad-except"
+    description = "bare/broad except must re-raise or increment a metrics counter"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._observable(node):
+                continue
+            caught = "bare except" if node.type is None else (
+                f"except {dotted_name(node.type) or 'Exception'}"
+            )
+            yield ctx.diagnostic(
+                self.code, node,
+                f"{caught} neither re-raises nor increments a metrics counter",
+                _REP004_HINT,
+            )
+
+    @staticmethod
+    def _is_broad(type_node: ast.AST | None) -> bool:
+        if type_node is None:
+            return True
+        if isinstance(type_node, ast.Tuple):
+            return any(
+                SilentBroadExceptRule._is_broad(elt) for elt in type_node.elts
+            )
+        name = dotted_name(type_node)
+        return name is not None and name.split(".")[-1] in _BROAD_NAMES
+
+    @staticmethod
+    def _observable(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call) and call_name(node) in ("inc", "observe"):
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# REP005: unsorted dict/set iteration feeding order-sensitive sinks
+# ----------------------------------------------------------------------
+
+_SINK_EXACT = frozenset({"submit", "ProcessPoolExecutor", "config_hash"})
+_SINK_SUBSTRINGS = ("sha256", "sha1", "md5", "blake2")
+
+_REP005_HINT = (
+    "wrap the iterable in sorted(...) so the sink sees a deterministic order, "
+    "or justify with '# lint: allow[REP005] -- <reason>'; "
+    "see docs/LINTING.md#rep005"
+)
+
+
+class UnsortedSinkIterationRule(Rule):
+    """REP005: dict/set iteration order feeding hashing or worker dispatch.
+
+    Within a function that hashes (``hashlib``-style calls,
+    ``config_hash``) or dispatches to worker pools (``submit``,
+    ``ProcessPoolExecutor``), a ``for`` loop or comprehension drawing
+    directly from ``.values()``/``.items()``/``.keys()`` or a set ties
+    the sink's behaviour to container iteration order.  Insertion order
+    may be deterministic today; ``sorted(...)`` makes the invariant
+    explicit and survives refactors that change insertion order.
+    """
+
+    code = "REP005"
+    name = "unsorted-sink-iteration"
+    description = "sort dict/set iteration that feeds hashing/dispatch sinks"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            sink = self._find_sink(fn)
+            if sink is None:
+                continue
+            for iter_node in self._iteration_sources(fn):
+                problem = self._order_dependent(iter_node)
+                if problem is None:
+                    continue
+                yield ctx.diagnostic(
+                    self.code, iter_node,
+                    f"unsorted {problem} iteration in '{fn.name}', which feeds "
+                    f"an order-sensitive sink ({sink})",
+                    _REP005_HINT,
+                )
+
+    @staticmethod
+    def _find_sink(fn: ast.AST) -> str | None:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            if name in _SINK_EXACT:
+                return name
+            lowered = name.lower()
+            if any(sub in lowered for sub in _SINK_SUBSTRINGS):
+                return name
+        return None
+
+    @staticmethod
+    def _iteration_sources(fn: ast.AST) -> Iterator[ast.AST]:
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield node.iter
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    yield gen.iter
+
+
+    @staticmethod
+    def _order_dependent(node: ast.AST) -> str | None:
+        """What unordered container this iterable reads, if any."""
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in ("values", "items", "keys") and isinstance(
+                node.func, ast.Attribute
+            ):
+                return f".{name}()"
+            if name == "set" and isinstance(node.func, ast.Name):
+                return "set(...)"
+        if isinstance(node, ast.Set):
+            return "set literal"
+        return None
+
+
+# ----------------------------------------------------------------------
+# REP006: metric/span naming convention and unique registration
+# ----------------------------------------------------------------------
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+_OBS_MODULES = ("repro.obs", "repro.obs.metrics", "repro.obs.tracing")
+_METRIC_KINDS = frozenset({"Counter", "Gauge", "Histogram"})
+
+_REP006_HINT = (
+    "metric and span names follow 'group.name' (lowercase, dot-separated); "
+    "each metric registers in exactly one module; see docs/LINTING.md#rep006"
+)
+
+
+class MetricNameRule(Rule):
+    """REP006: metric/span literals must follow ``group.name`` and be unique.
+
+    Checks every ``Counter``/``Gauge``/``Histogram``/``span`` call whose
+    handle was imported from :mod:`repro.obs` (so
+    ``collections.Counter`` is never confused with the metrics handle).
+    Name literals must match the lowercase dotted convention, and a
+    metric name may be registered in only one module -- double
+    registration makes merge deltas ambiguous.
+    """
+
+    code = "REP006"
+    name = "metric-name-convention"
+    description = "obs metric/span names: 'group.name' format, single registration"
+
+    def reset(self) -> None:
+        #: metric name -> [(rel, line, node-ctx)] registration sites.
+        self._registrations: dict[str, list[tuple[FileContext, ast.AST]]] = {}
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if "lintkit" in ctx.parts:
+            return  # this package's own fixtures/strings are not registrations
+        imports = _ImportTracker(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.canonical(node.func)
+            if canonical is None:
+                continue
+            module, _, symbol = canonical.rpartition(".")
+            if module not in _OBS_MODULES:
+                continue
+            if symbol not in _METRIC_KINDS and symbol != "span":
+                continue
+            name = _literal_first_arg(node)
+            if name is None:
+                continue
+            if not _NAME_RE.match(name):
+                yield ctx.diagnostic(
+                    self.code, node,
+                    f"{symbol} name '{name}' does not match the "
+                    "'group.name' convention",
+                    _REP006_HINT,
+                )
+                continue
+            if symbol in _METRIC_KINDS:
+                self._registrations.setdefault(name, []).append((ctx, node))
+        return
+
+    def finalize(self) -> Iterator[Diagnostic]:
+        for name, sites in sorted(self._registrations.items()):
+            modules = sorted({ctx.rel for ctx, _node in sites})
+            if len(modules) < 2:
+                continue
+            for ctx, node in sites:
+                others = ", ".join(m for m in modules if m != ctx.rel)
+                yield ctx.diagnostic(
+                    self.code, node,
+                    f"metric '{name}' is registered in multiple modules "
+                    f"(also in {others}); merge deltas become ambiguous",
+                    _REP006_HINT,
+                )
+
+
+def _literal_first_arg(node: ast.Call) -> str | None:
+    if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+        node.args[0].value, str
+    ):
+        return node.args[0].value
+    return None
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every shipped rule, in code order."""
+    return [
+        UnseededRandomnessRule(),
+        WallClockRule(),
+        CacheKeyCoverageRule(),
+        SilentBroadExceptRule(),
+        UnsortedSinkIterationRule(),
+        MetricNameRule(),
+    ]
+
+
+#: Code -> rule class, for ``--list-rules`` and docs generation.
+RULE_INDEX: dict[str, type[Rule]] = {
+    rule.code: type(rule) for rule in default_rules()
+}

@@ -187,7 +187,9 @@ def diff_snapshots(before: Mapping, after: Mapping) -> dict:
         if hist["count"] != prior["count"]:
             histograms[name] = {
                 "bounds": list(hist["bounds"]),
-                "counts": [c - p for c, p in zip(hist["counts"], prior["counts"])],
+                "counts": [
+                    c - p for c, p in zip(hist["counts"], prior["counts"], strict=True)
+                ],
                 "count": hist["count"] - prior["count"],
                 "sum": hist["sum"] - prior["sum"],
             }

@@ -102,7 +102,9 @@ def load_azure_public_vm_table(
                     f"{path}: row {n_rows} has {len(row)} columns, expected "
                     f">= {len(VMTABLE_COLUMNS)}"
                 )
-            record = dict(zip(VMTABLE_COLUMNS, row))
+            # Rows may carry trailing extra columns (checked >= above);
+            # truncation to the known schema is deliberate.
+            record = dict(zip(VMTABLE_COLUMNS, row, strict=False))
             created = float(record["vmcreated"])
             deleted_raw = record["vmdeleted"].strip()
             deleted = float(deleted_raw) if deleted_raw else float("inf")

@@ -127,7 +127,9 @@ def verify_trace_dir(directory: str | Path) -> Path:
         raise TraceCorruptionError(
             f"trace {directory} has an unreadable {CHECKSUM_FILE}: {exc}"
         ) from exc
-    for name, entry in recorded.items():
+    # Sorted so the *first* corruption reported is deterministic regardless
+    # of how the sidecar's JSON object happened to be ordered on disk.
+    for name, entry in sorted(recorded.items()):
         path = directory / name
         if not path.is_file():
             raise TraceCorruptionError(f"trace {directory} is missing {name}")
@@ -204,13 +206,16 @@ def _save_trace(store: TraceStore, directory: Path) -> Path:
     }
     (directory / "metadata.json").write_text(json.dumps(meta, indent=2))
 
+    # Store insertion order *is* the canonical trace-file order -- it is a
+    # deterministic function of the simulated week -- so these writes keep
+    # it deliberately instead of re-sorting entities by id.
     topology = {
-        "regions": [vars(r) for r in store.regions.values()],
-        "clusters": [_plain(vars(c)) for c in store.clusters.values()],
-        "nodes": [_plain(vars(n)) for n in store.nodes.values()],
+        "regions": [vars(r) for r in store.regions.values()],  # lint: allow[REP005]
+        "clusters": [_plain(vars(c)) for c in store.clusters.values()],  # lint: allow[REP005]
+        "nodes": [_plain(vars(n)) for n in store.nodes.values()],  # lint: allow[REP005]
         "subscriptions": [
             {**_plain(vars(s)), "regions": list(s.regions)}
-            for s in store.subscriptions.values()
+            for s in store.subscriptions.values()  # lint: allow[REP005]
         ],
     }
     (directory / "topology.json").write_text(json.dumps(topology, indent=2))

@@ -256,7 +256,7 @@ def irregular_signal_block(
     block.fill(base_level)
     window_days = (times[-1] - times[0]) / (24 * SECONDS_PER_HOUR) if n > 1 else 0.0
     counts = rng.poisson(max(0.0, spike_rate_per_day * window_days), size=n_series)
-    for row, n_spikes in zip(block, counts):
+    for row, n_spikes in zip(block, counts, strict=True):
         for _ in range(int(n_spikes)):
             start = int(rng.integers(0, n))
             width = int(
@@ -328,7 +328,7 @@ def mask_to_lifetime_block(
     ended = np.asarray(ended_at, dtype=np.float64).ravel()
     first_alive = np.searchsorted(times, created, side="left")
     first_dead = np.searchsorted(times, ended, side="left")
-    for row, lo, hi in zip(block, first_alive, first_dead):
+    for row, lo, hi in zip(block, first_alive, first_dead, strict=True):
         row[:lo] = 0.0
         row[hi:] = 0.0
     return block

@@ -1,0 +1,468 @@
+"""Tests for repro.lintkit: rule fixtures, pragmas, baseline, CLI, self-check."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lintkit import (
+    Diagnostic,
+    apply_baseline,
+    build_baseline,
+    lint_paths,
+    load_baseline,
+    render_json,
+    write_baseline,
+)
+from repro.lintkit.baseline import BaselineError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_TREE = REPO_ROOT / "src" / "repro"
+
+
+def lint_snippets(tmp_path: Path, files: dict[str, str], **kwargs):
+    """Write ``files`` under ``tmp_path`` and lint the tree."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return lint_paths([tmp_path], root=tmp_path, **kwargs)
+
+
+def codes(result) -> list[str]:
+    return [diag.code for diag in result.diagnostics]
+
+
+# ----------------------------------------------------------------------
+# REP001: unseeded randomness
+# ----------------------------------------------------------------------
+
+
+def test_rep001_flags_legacy_np_random(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "import numpy as np\n"
+        "x = np.random.rand(4)\n"
+        "y = np.random.choice([1, 2])\n"
+    )})
+    assert codes(result) == ["REP001", "REP001"]
+    assert "legacy global state" in result.diagnostics[0].message
+
+
+def test_rep001_flags_stdlib_random_and_from_import(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "import random\n"
+        "from random import choice\n"
+        "r = random.random()\n"
+    )})
+    assert codes(result) == ["REP001", "REP001"]  # the from-import + the call
+
+
+def test_rep001_flags_seedless_constructors(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "import numpy as np\n"
+        "a = np.random.default_rng()\n"
+        "b = np.random.SFC64()\n"
+        "c = np.random.SeedSequence()\n"
+        "d = np.random.RandomState(3)\n"
+    )})
+    assert codes(result) == ["REP001"] * 4
+
+
+def test_rep001_allows_seeded_generator_threading(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(7)\n"
+        "fill = np.random.Generator(np.random.SFC64(int(rng.integers(2**63))))\n"
+        "def f(r: np.random.Generator | None = None):\n"
+        "    return (r or np.random.default_rng(0)).normal()\n"
+    )})
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# REP002: wall-clock reads
+# ----------------------------------------------------------------------
+
+
+def test_rep002_flags_clock_reads(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "import time\n"
+        "from time import monotonic as mono\n"
+        "from datetime import datetime\n"
+        "a = time.time()\n"
+        "b = time.perf_counter()\n"
+        "c = mono()\n"
+        "d = datetime.now()\n"
+        "time.sleep(0.1)\n"  # sleeping is not a clock *read*
+    )})
+    assert codes(result) == ["REP002"] * 4
+
+
+def test_rep002_allows_obs_package(tmp_path):
+    result = lint_snippets(tmp_path, {"obs/tracing.py": (
+        "import time\n"
+        "t0 = time.perf_counter()\n"
+    )})
+    assert codes(result) == []
+
+
+def test_pragma_suppresses_same_and_previous_line(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "import time\n"
+        "a = time.time()  # lint: allow[REP002] -- justified\n"
+        "# lint: allow[REP002] -- justified on the line above\n"
+        "b = time.time()\n"
+        "c = time.time()  # lint: allow[REP001] -- wrong code, no effect\n"
+        "d = time.time()  # lint: allow[*]\n"
+    )})
+    assert codes(result) == ["REP002"]  # only the wrong-code line survives
+    assert result.diagnostics[0].line == 5
+    assert result.suppressed_pragma == 3
+
+
+# ----------------------------------------------------------------------
+# REP003: cache-key coverage
+# ----------------------------------------------------------------------
+
+_CONFIG_SRC = (
+    "from dataclasses import dataclass\n"
+    "@dataclass\n"
+    "class GeneratorConfig:\n"
+    "    seed: int = 7\n"
+    "    scale: float = 1.0\n"
+    "    debug_label: str = ''\n"
+)
+
+
+def test_rep003_missing_field_is_flagged(tmp_path):
+    result = lint_snippets(tmp_path, {
+        "generator.py": _CONFIG_SRC,
+        "cache.py": (
+            "CACHE_KEY_FIELDS = ('seed', 'scale')\n"
+            "CACHE_KEY_EXEMPT = frozenset()\n"
+        ),
+    })
+    assert codes(result) == ["REP003"]
+    assert "debug_label" in result.diagnostics[0].message
+    assert result.diagnostics[0].path == "generator.py"
+
+
+def test_rep003_exempt_field_is_clean(tmp_path):
+    result = lint_snippets(tmp_path, {
+        "generator.py": _CONFIG_SRC,
+        "cache.py": (
+            "CACHE_KEY_FIELDS = ('seed', 'scale')\n"
+            "CACHE_KEY_EXEMPT = frozenset({'debug_label'})\n"
+        ),
+    })
+    assert codes(result) == []
+
+
+def test_rep003_generic_fields_loop_covers_everything(tmp_path):
+    result = lint_snippets(tmp_path, {
+        "generator.py": _CONFIG_SRC,
+        "cache.py": (
+            "import dataclasses\n"
+            "def config_hash(config):\n"
+            "    payload = {}\n"
+            "    for field in dataclasses.fields(config):\n"
+            "        payload[field.name] = getattr(config, field.name)\n"
+            "    return str(sorted(payload.items()))\n"
+        ),
+    })
+    assert codes(result) == []
+
+
+def test_rep003_stale_and_double_listed_entries(tmp_path):
+    result = lint_snippets(tmp_path, {
+        "generator.py": _CONFIG_SRC,
+        "cache.py": (
+            "CACHE_KEY_FIELDS = ('seed', 'scale', 'debug_label', 'removed_knob')\n"
+            "CACHE_KEY_EXEMPT = frozenset({'debug_label'})\n"
+        ),
+    })
+    messages = [d.message for d in result.diagnostics]
+    assert codes(result) == ["REP003", "REP003"]
+    assert any("removed_knob" in m and "stale" in m for m in messages)
+    assert any("debug_label" in m and "both" in m for m in messages)
+
+
+def test_rep003_catches_unkeyed_field_added_to_real_tree(tmp_path):
+    """Acceptance check: a new GeneratorConfig knob must be caught."""
+    generator_src = (SRC_TREE / "workloads" / "generator.py").read_text()
+    marker = "    telemetry_batch: bool = True\n"
+    assert marker in generator_src
+    generator_src = generator_src.replace(
+        marker, marker + "    sneaky_new_knob: float = 1.0\n"
+    )
+    result = lint_snippets(tmp_path, {
+        "generator.py": generator_src,
+        "cache.py": (SRC_TREE / "experiments" / "cache.py").read_text(),
+    }, select=["REP003"])
+    assert codes(result) == ["REP003"]
+    assert "sneaky_new_knob" in result.diagnostics[0].message
+
+
+def test_rep001_catches_unseeded_call_added_to_real_tree(tmp_path):
+    """Acceptance check: a deliberate np.random.rand in generator code."""
+    generator_src = (SRC_TREE / "workloads" / "generator.py").read_text()
+    generator_src += "\n\ndef _sloppy():\n    return np.random.rand(8)\n"
+    result = lint_snippets(
+        tmp_path, {"workloads/generator.py": generator_src}, select=["REP001"]
+    )
+    assert codes(result) == ["REP001"]
+    assert "np.random.rand" in result.diagnostics[0].snippet
+
+
+# ----------------------------------------------------------------------
+# REP004: silent broad except
+# ----------------------------------------------------------------------
+
+
+def test_rep004_flags_silent_broad_handlers(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:\n"
+        "        pass\n"
+        "def g():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except (ValueError, BaseException):\n"
+        "        log('oops')\n"
+        "def h():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except:\n"
+        "        return None\n"
+    )})
+    assert codes(result) == ["REP004"] * 3
+
+
+def test_rep004_allows_reraise_counter_and_narrow(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:\n"
+        "        raise\n"
+        "def g():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:\n"
+        "        _SWALLOWED.inc()\n"
+        "def h():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except (OSError, ValueError):\n"
+        "        pass\n"
+    )})
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# REP005: unsorted iteration feeding sinks
+# ----------------------------------------------------------------------
+
+
+def test_rep005_flags_unsorted_iteration_near_hashing(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "import hashlib\n"
+        "def digest(d):\n"
+        "    h = hashlib.sha256()\n"
+        "    for value in d.values():\n"
+        "        h.update(value)\n"
+        "    return h.hexdigest()\n"
+        "def dispatch(pool, tasks):\n"
+        "    return [pool.submit(t) for t in {'a', 'b'}]\n"
+    )})
+    assert codes(result) == ["REP005", "REP005"]
+
+
+def test_rep005_allows_sorted_iteration_and_plain_functions(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "import hashlib\n"
+        "def digest(d):\n"
+        "    h = hashlib.sha256()\n"
+        "    for key, value in sorted(d.items()):\n"
+        "        h.update(value)\n"
+        "    return h.hexdigest()\n"
+        "def harmless(d):\n"
+        "    return [v for v in d.values()]\n"  # no sink in this function
+    )})
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# REP006: metric/span names
+# ----------------------------------------------------------------------
+
+
+def test_rep006_flags_bad_names_and_double_registration(tmp_path):
+    result = lint_snippets(tmp_path, {
+        "a.py": (
+            "from repro.obs import Counter, span\n"
+            "_HITS = Counter('cache.hit')\n"
+            "_BAD = Counter('CacheMisses')\n"
+            "def f():\n"
+            "    with span('Bad Name'):\n"
+            "        pass\n"
+        ),
+        "b.py": (
+            "from repro.obs.metrics import Counter\n"
+            "_ALSO_HITS = Counter('cache.hit')\n"
+        ),
+    })
+    by_code = codes(result)
+    assert by_code.count("REP006") == 4  # 2 bad names + both duplicate sites
+    duplicate = [d for d in result.diagnostics if "multiple modules" in d.message]
+    assert {d.path for d in duplicate} == {"a.py", "b.py"}
+
+
+def test_rep006_ignores_collections_counter(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "from collections import Counter\n"
+        "c = Counter('NOT a metric name')\n"
+    )})
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# baseline workflow
+# ----------------------------------------------------------------------
+
+_VIOLATION = "import time\nt = time.time()\n"
+
+
+def test_baseline_round_trip(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": _VIOLATION})
+    assert codes(result) == ["REP002"]
+
+    baseline_path = write_baseline(result.diagnostics, tmp_path / "baseline.json")
+    baseline = load_baseline(baseline_path)
+    assert len(baseline["entries"]) == 1
+
+    rerun = lint_paths([tmp_path / "mod.py"], root=tmp_path)
+    kept, suppressed = apply_baseline(rerun.diagnostics, baseline)
+    assert kept == [] and suppressed == 1
+
+
+def test_baseline_resurfaces_changed_lines_and_caps_counts(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": _VIOLATION})
+    baseline = build_baseline(result.diagnostics)
+
+    # The offending line changed: its fingerprint no longer matches.
+    (tmp_path / "mod.py").write_text("import time\nt = time.time() + 1\n")
+    rerun = lint_paths([tmp_path / "mod.py"], root=tmp_path)
+    kept, suppressed = apply_baseline(rerun.diagnostics, baseline)
+    assert codes(rerun) == ["REP002"] and kept == rerun.diagnostics
+
+    # Two identical offending lines, baseline budget of one: one survives.
+    (tmp_path / "mod.py").write_text(
+        "import time\nt = time.time()\nu = time.time()\n"
+    )
+    rerun = lint_paths([tmp_path / "mod.py"], root=tmp_path)
+    kept, suppressed = apply_baseline(rerun.diagnostics, baseline)
+    assert len(rerun.diagnostics) == 2 and suppressed == 1 and len(kept) == 1
+
+
+def test_baseline_rejects_malformed_documents(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{}")
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+    bad.write_text('{"schema_version": 99, "entries": {}}')
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+    with pytest.raises(BaselineError):
+        load_baseline(tmp_path / "missing.json")
+
+
+# ----------------------------------------------------------------------
+# report schemas, selection, parse errors
+# ----------------------------------------------------------------------
+
+
+def test_json_report_schema(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": _VIOLATION})
+    document = json.loads(render_json(result))
+    assert document["schema_version"] == 1
+    assert document["exit_code"] == 1
+    assert document["counts"] == {"REP002": 1}
+    assert document["suppressed"] == {"pragma": 0, "baseline": 0}
+    (finding,) = document["findings"]
+    assert set(finding) == {
+        "code", "message", "path", "line", "col", "snippet",
+        "fix_hint", "fingerprint",
+    }
+    assert finding["path"] == "mod.py" and finding["line"] == 2
+
+
+def test_select_and_ignore_filtering(tmp_path):
+    files = {"mod.py": "import time\nimport random\nt = time.time()\n"}
+    # A plain ``import random`` alone does not trip REP001; only use does.
+    assert codes(lint_snippets(tmp_path, files)) == ["REP002"]
+    files["mod.py"] += "r = random.random()\n"
+    result = lint_snippets(tmp_path, files)
+    assert sorted(codes(result)) == ["REP001", "REP002"]
+    assert codes(lint_snippets(tmp_path, files, select=["REP001"])) == ["REP001"]
+    assert codes(lint_snippets(tmp_path, files, ignore=["REP001"])) == ["REP002"]
+
+
+def test_parse_error_reported_not_ignorable(tmp_path):
+    result = lint_snippets(
+        tmp_path, {"broken.py": "def f(:\n"}, select=["REP001"]
+    )
+    assert codes(result) == ["REP000"]
+    assert result.exit_code == 1
+
+
+def test_diagnostic_fingerprint_stable_across_line_drift():
+    a = Diagnostic("REP002", "m", "mod.py", 10, 5, snippet="t = time.time()")
+    b = Diagnostic("REP002", "m", "mod.py", 99, 5, snippet="t = time.time()")
+    c = Diagnostic("REP002", "m", "mod.py", 10, 5, snippet="u = time.time()")
+    assert a.fingerprint == b.fingerprint
+    assert a.fingerprint != c.fingerprint
+
+
+# ----------------------------------------------------------------------
+# self-check: the shipped tree is clean, through both entry points
+# ----------------------------------------------------------------------
+
+
+def test_shipped_tree_is_clean_via_api():
+    result = lint_paths([SRC_TREE], root=REPO_ROOT)
+    assert [d.render() for d in result.diagnostics] == []
+    assert result.files_checked > 70
+    assert result.suppressed_pragma > 0  # the documented scheduler pragmas
+
+
+def test_shipped_tree_is_clean_via_cli():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--format", "json"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    document = json.loads(proc.stdout)
+    assert document["findings"] == []
+
+
+def test_standalone_module_exits_nonzero_on_violations(tmp_path):
+    (tmp_path / "mod.py").write_text(_VIOLATION)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lintkit", str(tmp_path), "--no-baseline"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    assert "REP002" in proc.stdout

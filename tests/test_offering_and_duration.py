@@ -28,7 +28,7 @@ class TestOffering:
 
     def test_offering_constant_within_subscription(self, small_trace):
         by_sub = small_trace.vms_by_subscription()
-        for sub_id, vms in list(by_sub.items())[:50]:
+        for _sub_id, vms in list(by_sub.items())[:50]:
             assert len({vm.offering for vm in vms}) == 1
 
     def test_subscription_info_carries_offering(self, small_trace):

@@ -28,7 +28,7 @@ class TestEvictionModel:
         model = SpotEvictionModel()
         pressures = np.linspace(0, 1, 50)
         probs = [model.hourly_eviction_probability(p) for p in pressures]
-        assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:]))
+        assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:], strict=False))
 
     def test_pressure_clipped(self):
         model = SpotEvictionModel()
