@@ -11,6 +11,8 @@ Subcommands::
                             (alias: repro-cloud run ...)
     repro-cloud kb          [--trace trace_dir] [--out kb.json]
     repro-cloud case-study  [--seed 11]
+    repro-cloud bench-scale --cache-dir DIR [--scale 50] [--budget-gb 4]
+                            [--tasks fig6 fig7a ...] [--out BENCH_scale.json]
     repro-cloud lint        [paths...] [--format text|json] [--baseline PATH]
                             [--select/--ignore CODES] [--write-baseline]
 
@@ -283,6 +285,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_bench_scale(args: argparse.Namespace) -> int:
+    from repro.experiments.benchscale import run_bench_scale, write_artifact
+
+    payload = run_bench_scale(
+        seed=args.seed,
+        scale=args.scale,
+        cache_dir=args.cache_dir,
+        budget_gb=args.budget_gb,
+        workers=args.workers,
+        task_ids=args.tasks,
+    )
+    out = write_artifact(payload, args.out)
+    phases = payload["phases"]
+    print(
+        f"generate: {phases['generate']['utilization_series']} series, "
+        f"{phases['generate']['wall_s']}s, "
+        f"peak RSS {phases['generate']['peak_rss_kb'] / 1024 / 1024:.2f} GiB",
+        file=sys.stderr,
+    )
+    print(
+        f"analyze: {len(phases['analyze']['tasks'])} tasks, "
+        f"{phases['analyze']['wall_s']}s, "
+        f"peak RSS {phases['analyze']['peak_rss_kb'] / 1024 / 1024:.2f} GiB",
+        file=sys.stderr,
+    )
+    print(f"wrote {out}")
+    if not payload["within_budget"]:
+        print(
+            f"FAIL: peak RSS {payload['peak_rss_gb']} GiB exceeds the "
+            f"{payload['budget_gb']} GiB budget",
+            file=sys.stderr,
+        )
+    if payload["degraded_tasks"]:
+        print(
+            f"FAIL: degraded tasks: {', '.join(payload['degraded_tasks'])}",
+            file=sys.stderr,
+        )
+    return 0 if payload["passed"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -394,6 +436,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_case = sub.add_parser("case-study", help="run the Canada region-shift pilot")
     p_case.add_argument("--seed", type=int, default=11)
     p_case.set_defaults(func=_cmd_case_study)
+
+    p_bench = sub.add_parser(
+        "bench-scale",
+        help="paper-scale memory benchmark: generate + analyze under an "
+        "RSS budget, writing BENCH_scale.json",
+    )
+    p_bench.add_argument("--seed", type=int, default=7)
+    p_bench.add_argument(
+        "--scale", type=float, default=50.0,
+        help="workload scale (50 yields >1M telemetry series)",
+    )
+    p_bench.add_argument(
+        "--cache-dir", type=str, required=True,
+        help="trace cache root for the generated trace (needs ~bytes-on-disk "
+        "of the telemetry; shards are hard-linked, not duplicated)",
+    )
+    p_bench.add_argument(
+        "--budget-gb", type=float, default=4.0,
+        help="hard per-phase peak-RSS budget in GiB (default 4)",
+    )
+    p_bench.add_argument(
+        "--workers", type=int, default=1,
+        help="generation worker processes (forwarded to generate_trace_pair)",
+    )
+    p_bench.add_argument(
+        "--tasks", type=str, nargs="*", default=None,
+        help="analyze only these registry task ids (default: all)",
+    )
+    p_bench.add_argument(
+        "--out", type=str, default="BENCH_scale.json",
+        help="artifact path (default: BENCH_scale.json)",
+    )
+    p_bench.set_defaults(func=_cmd_bench_scale)
 
     p_lint = sub.add_parser(
         "lint",

@@ -24,7 +24,7 @@ import numpy as np
 from repro.analysis.cdf import EmpiricalCdf
 from repro.analysis.stats import pearson_correlation
 from repro.obs import Counter
-from repro.telemetry.counters import all_node_utilizations, subscription_region_utilization
+from repro.telemetry.counters import subscription_region_vm_ids
 from repro.telemetry.schema import Cloud
 from repro.telemetry.store import TraceStore
 from repro.timebase import SECONDS_PER_DAY
@@ -78,24 +78,33 @@ def node_level_correlation(
         min_alive = 2 * SECONDS_PER_DAY
     sample_period = store.metadata.sample_period
     duration = store.metadata.duration
-    node_series = all_node_utilizations(store, cloud=cloud)
     vms_by_node = store.vms_by_node(cloud=cloud)
 
     correlations: list[float] = []
     n_constant = 0
     n_nodes = 0
-    for node_id in sorted(node_series):
-        node_util = node_series[node_id]
+    # Node series are derived one node at a time rather than via
+    # all_node_utilizations(): a dict holding every node's float64 series
+    # is O(n_nodes x T) resident memory, which at paper scale is larger
+    # than the whole RSS budget.  Visiting sorted node ids and summing the
+    # hosted VMs' rows in store order reproduces exactly the series (and
+    # the max_nodes selection) the precomputed dict gave.
+    for node_id in sorted(vms_by_node):
+        node = store.nodes.get(node_id)
+        if node is None:
+            continue
         vms = [
-            vm
-            for vm in vms_by_node.get(node_id, [])
-            if store.has_utilization(vm.vm_id)
+            vm for vm in vms_by_node[node_id] if store.has_utilization(vm.vm_id)
         ]
         if len(vms) < 2:
             continue  # trivial single-VM nodes are excluded
         n_nodes += 1
         if max_nodes is not None and n_nodes > max_nodes:
             break
+        total = np.zeros(store.metadata.n_samples, dtype=np.float64)
+        for vm in vms:
+            total += vm.cores * store.utilization(vm.vm_id).astype(np.float64)
+        node_util = np.clip(total / node.capacity_cores, 0.0, 1.0)
         for vm in vms:
             start = max(vm.created_at, 0.0)
             end = min(vm.ended_at, duration)
@@ -133,15 +142,22 @@ def region_level_correlation(
         for name, info in store.regions.items()
         if not countries or info.country in countries
     }
+    # One fleet pass groups (subscription, region) -> vm ids; the per-call
+    # scan in subscription_region_utilization would rescan every VM for
+    # every subscription.
+    grouped = subscription_region_vm_ids(store, cloud=cloud)
     correlations: list[float] = []
     n_constant = 0
     for sub_id, sub in store.subscriptions.items():
         if sub.cloud != cloud:
             continue
-        by_region = subscription_region_utilization(store, sub_id)
-        regions = sorted(r for r in by_region if r in allowed)
+        ids_by_region = grouped.get(sub_id, {})
+        regions = sorted(r for r in ids_by_region if r in allowed)
         if len(regions) < min_regions:
             continue
+        by_region = {
+            r: store.utilization_mean(ids_by_region[r]) for r in regions
+        }
         for a, b in combinations(regions, 2):
             r = pearson_correlation(by_region[a], by_region[b])
             if np.isfinite(r):
@@ -183,14 +199,18 @@ def region_agnostic_subscriptions(
         for name, info in store.regions.items()
         if not countries or info.country in countries
     }
+    grouped = subscription_region_vm_ids(store, cloud=cloud)
     reports = []
     for sub_id, sub in sorted(store.subscriptions.items()):
         if sub.cloud != cloud:
             continue
-        by_region = subscription_region_utilization(store, sub_id)
-        regions = sorted(r for r in by_region if r in allowed)
+        ids_by_region = grouped.get(sub_id, {})
+        regions = sorted(r for r in ids_by_region if r in allowed)
         if len(regions) < 2:
             continue
+        by_region = {
+            r: store.utilization_mean(ids_by_region[r]) for r in regions
+        }
         pair_correlations = [
             pearson_correlation(by_region[a], by_region[b])
             for a, b in combinations(regions, 2)
@@ -233,7 +253,7 @@ def service_region_series(
             continue
         by_region.setdefault(vm.region, []).append(vm.vm_id)
     series = {
-        region: store.utilization_matrix(ids).mean(axis=0).astype(np.float64)
+        region: store.utilization_mean(ids)
         for region, ids in by_region.items()
         if len(ids) >= 2
     }

@@ -22,14 +22,14 @@ def pattern_mix(
     return PatternClassifier(config).pattern_mix(store, cloud=cloud, max_vms=max_vms)
 
 
-def _long_lived_matrix(
+def _long_lived_ids(
     store: TraceStore,
     cloud: Cloud,
     *,
     min_alive_fraction: float = 0.95,
     max_vms: int | None = None,
-) -> np.ndarray:
-    """Stack utilization of VMs alive ~the entire window.
+) -> list[int]:
+    """Ids of telemetry-bearing VMs alive ~the entire window.
 
     Fig. 6 tracks the population distribution over time; including VMs that
     are dead for part of the window would mix "off" zeros into the
@@ -46,7 +46,13 @@ def _long_lived_matrix(
             break
     if not ids:
         raise ValueError(f"no {cloud} VM spans the whole window with telemetry")
-    return store.utilization_matrix(ids)
+    return ids
+
+
+#: Scratch budget for one windowed percentile pass, in bytes.  The window
+#: width adapts so the gathered float32 slab plus its float64 copy stay
+#: under this, independent of how many VMs qualify.
+_BAND_WINDOW_BYTES = 256 * 1024 * 1024
 
 
 def weekly_percentiles(
@@ -56,9 +62,28 @@ def weekly_percentiles(
     percentiles: tuple[float, ...] = (25.0, 50.0, 75.0, 95.0),
     max_vms: int | None = None,
 ) -> PercentileBands:
-    """Fig. 6(a, b): CPU utilization percentile bands over the week."""
-    matrix = _long_lived_matrix(store, cloud, max_vms=max_vms)
-    return percentile_bands(matrix, percentiles)
+    """Fig. 6(a, b): CPU utilization percentile bands over the week.
+
+    Each percentile is a per-timestamp statistic, so the bands are computed
+    over time windows instead of one ``(n_vms, T)`` matrix -- column
+    windowing changes nothing bitwise, and the full matrix for a paper-scale
+    population would not fit in memory.
+    """
+    ids = _long_lived_ids(store, cloud, max_vms=max_vms)
+    n_samples = store.metadata.n_samples
+    window = max(16, _BAND_WINDOW_BYTES // (12 * len(ids)))
+    if window >= n_samples:
+        return percentile_bands(store.utilization_matrix(ids), percentiles)
+    bands = np.empty((len(percentiles), n_samples), dtype=np.float64)
+    for start in range(0, n_samples, window):
+        stop = min(n_samples, start + window)
+        chunk = store.utilization_matrix(ids, start=start, stop=stop)
+        bands[:, start:stop] = percentile_bands(chunk, percentiles).bands
+    return PercentileBands(
+        percentiles=tuple(float(p) for p in percentiles),
+        bands=bands,
+        n_series=len(ids),
+    )
 
 
 def daily_percentiles(

@@ -1,0 +1,179 @@
+"""Paper-scale memory benchmark: generate and analyze under an RSS budget.
+
+The scale acceptance bar for the sharded trace format (format v2, see
+``docs/TRACE_FORMAT.md``) is end-to-end: a trace with >1M telemetry-bearing
+VMs must be *generated* (spilled straight to shards) and *fully analyzed*
+(every task in the experiment registry, reading the shards lazily) without
+the resident set ever exceeding a hard budget.  This module runs those two
+phases and emits a ``BENCH_scale.json`` artifact CI can gate on.
+
+Each phase runs in its own **spawned** subprocess so that
+``getrusage(RUSAGE_SELF).ru_maxrss`` is a clean per-phase high-water mark:
+a forked child would inherit the parent's peak, and running both phases in
+one process would let the generator's peak mask the analyzers'.  Inside
+the phase the work runs under an obs span, so the artifact carries the
+span's ``peak_rss_delta_kb`` alongside the absolute peak.
+
+Note the mmap'd shard pages a phase touches *do* count toward its
+``ru_maxrss`` until the shard cache evicts them (see
+:mod:`repro.telemetry.shards`); the budget therefore genuinely bounds
+telemetry residency, not just heap allocations.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs import span
+
+#: Default hard per-phase budget, in GiB of peak resident set.
+DEFAULT_BUDGET_GB = 4.0
+
+#: Default scale: >=1M telemetry series (scale 1 yields ~20.5k).
+DEFAULT_SCALE = 50.0
+
+
+def _peak_rss_kb() -> float:
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return float(peak if sys.platform != "darwin" else peak / 1024)
+
+
+def _phase_generate(conn, seed: int, scale: float, cache_dir: str, workers: int) -> None:
+    """Subprocess body: synthesize (spilling to shards) and cache the trace."""
+    from repro.experiments.cache import fetch_trace
+    from repro.workloads.generator import GeneratorConfig
+
+    config = GeneratorConfig(seed=seed, scale=scale)
+    with span("bench.generate", scale=scale) as timing:
+        store, info = fetch_trace(
+            config, cache_dir=cache_dir, workers=workers, spill=True
+        )
+    summary = store.summary()
+    conn.send(
+        {
+            "phase": "generate",
+            "wall_s": round(timing.wall_s, 2),
+            "peak_rss_kb": _peak_rss_kb(),
+            "span_rss_delta_kb": timing.peak_rss_delta_kb,
+            "vms": summary["vms"],
+            "utilization_series": summary["utilization_series"],
+            "utilization_bytes": summary["utilization_bytes"],
+            "cache_hit": info.hit,
+            "trace_path": info.path,
+        }
+    )
+    conn.close()
+
+
+def _phase_analyze(
+    conn, seed: int, scale: float, cache_dir: str, task_ids: "list[str] | None"
+) -> None:
+    """Subprocess body: run the experiment registry over the cached trace."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.parallel import execute
+
+    config = ExperimentConfig(seed=seed, scale=scale)
+    with span("bench.analyze", scale=scale) as timing:
+        outcomes = execute(
+            config, jobs=1, cache_dir=cache_dir, task_ids=task_ids
+        )
+    conn.send(
+        {
+            "phase": "analyze",
+            "wall_s": round(timing.wall_s, 2),
+            "peak_rss_kb": _peak_rss_kb(),
+            "span_rss_delta_kb": timing.peak_rss_delta_kb,
+            "tasks": [
+                {
+                    "id": outcome.task_id,
+                    "status": outcome.status,
+                    "wall_s": round(outcome.wall_time_s, 2),
+                }
+                for outcome in outcomes
+            ],
+        }
+    )
+    conn.close()
+
+
+_PHASES = {"generate": _phase_generate, "analyze": _phase_analyze}
+
+
+def _run_phase(name: str, args: tuple) -> dict:
+    """Run one phase in a spawned subprocess and return its report."""
+    ctx = multiprocessing.get_context("spawn")
+    recv, send = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_PHASES[name], args=(send, *args), daemon=False)
+    proc.start()
+    send.close()
+    try:
+        report = recv.recv()
+    except EOFError:
+        proc.join()
+        raise RuntimeError(
+            f"bench phase {name!r} died with exit code {proc.exitcode} "
+            "before reporting"
+        ) from None
+    proc.join()
+    recv.close()
+    return report
+
+
+def run_bench_scale(
+    *,
+    seed: int = 7,
+    scale: float = DEFAULT_SCALE,
+    cache_dir: str | Path,
+    budget_gb: float = DEFAULT_BUDGET_GB,
+    workers: int = 1,
+    task_ids: Sequence[str] | None = None,
+) -> dict:
+    """Run the generate + analyze phases and return the artifact payload."""
+    import numpy as np
+
+    cache_dir = str(cache_dir)
+    generate = _run_phase("generate", (seed, scale, cache_dir, workers))
+    analyze = _run_phase(
+        "analyze", (seed, scale, cache_dir, list(task_ids) if task_ids else None)
+    )
+    budget_kb = budget_gb * 1024 * 1024
+    degraded = [t["id"] for t in analyze["tasks"] if t["status"] not in ("ok", "retried")]
+    payload = {
+        "bench": "scale",
+        "seed": seed,
+        "scale": scale,
+        "budget_gb": budget_gb,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+        },
+        "phases": {"generate": generate, "analyze": analyze},
+        "peak_rss_gb": round(
+            max(generate["peak_rss_kb"], analyze["peak_rss_kb"]) / (1024 * 1024), 3
+        ),
+        "within_budget": (
+            generate["peak_rss_kb"] <= budget_kb
+            and analyze["peak_rss_kb"] <= budget_kb
+        ),
+        "degraded_tasks": degraded,
+        "passed": False,  # finalized below
+    }
+    payload["passed"] = payload["within_budget"] and not degraded
+    return payload
+
+
+def write_artifact(payload: dict, out: str | Path) -> Path:
+    """Write the benchmark artifact as stable, diff-friendly JSON."""
+    out = Path(out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out

@@ -26,6 +26,8 @@ import hashlib
 import json
 import os
 import shutil
+import tempfile
+import weakref
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -84,6 +86,25 @@ CACHE_KEY_EXEMPT: frozenset[str] = frozenset()
 
 class CacheKeyCoverageError(ValueError):
     """A ``GeneratorConfig`` field is neither keyed nor explicitly exempt."""
+
+
+#: Above this ``GeneratorConfig.scale``, :func:`fetch_trace` synthesizes
+#: telemetry straight into on-disk v2 shards instead of resident matrices.
+#: At scale 8 the utilization matrices alone are ~1.3 GB; spilling keeps
+#: peak RSS bounded by the shard chunk size while producing bit-identical
+#: values (so the cache key is unaffected).
+SPILL_SCALE_THRESHOLD = 8.0
+
+
+def _should_spill(config: GeneratorConfig, spill: "bool | None") -> bool:
+    """Resolve the spill decision: explicit flag wins, else scale threshold."""
+    if spill is not None:
+        return spill
+    return (
+        config.synthesize_utilization
+        and config.telemetry_batch
+        and config.scale > SPILL_SCALE_THRESHOLD
+    )
 
 
 def config_hash(config: GeneratorConfig) -> str:
@@ -151,6 +172,7 @@ def fetch_trace(
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
     workers: int = 1,
+    spill: "bool | None" = None,
 ) -> tuple[TraceStore, TraceCacheInfo]:
     """Return the trace pair for ``config`` and where it came from.
 
@@ -161,6 +183,14 @@ def fetch_trace(
     of aborting it.  On a miss the pair is generated (``workers``
     forwarded to :func:`generate_trace_pair`) and, unless ``use_cache``
     is false, stored atomically for the next run.
+
+    ``spill`` controls shard-spilled synthesis on a miss: ``True``/``False``
+    force it, ``None`` (default) turns it on above
+    :data:`SPILL_SCALE_THRESHOLD`.  Spill scratch lives under the cache
+    root (same filesystem, so the v2 save hard-links shards instead of
+    rewriting them) and is deleted once the saved trace owns the shards;
+    with ``use_cache=False`` it is kept alive until the store is garbage
+    collected.  Spilling never changes the trace bytes or the cache key.
     """
     key = config_hash(config)
     path = trace_cache_path(config, cache_dir)
@@ -182,12 +212,30 @@ def fetch_trace(
             _HITS.inc()
             return store, TraceCacheInfo(key, str(path), hit=True, source="disk")
     _MISSES.inc()
-    with span("cache.synthesize", key=key):
-        store = generate_trace_pair(config, workers=workers)
+    spill_dir: Path | None = None
+    if _should_spill(config, spill):
+        scratch_root = resolve_cache_dir(cache_dir) / "tmp"
+        scratch_root.mkdir(parents=True, exist_ok=True)
+        spill_dir = Path(tempfile.mkdtemp(prefix=f"spill-{key}-", dir=scratch_root))
+    with span("cache.synthesize", key=key, spilled=spill_dir is not None):
+        store = generate_trace_pair(
+            config,
+            workers=workers,
+            spill_dir=str(spill_dir) if spill_dir is not None else None,
+        )
     if use_cache:
         with span("cache.save", key=key):
             save_trace_atomic(store, path)
         _WRITES.inc()
+        if spill_dir is not None:
+            # The save hard-linked (or copied) every live shard into the
+            # trace directory and re-pointed the store's refs there, so
+            # the scratch tree is dead weight now.
+            shutil.rmtree(spill_dir, ignore_errors=True)
+    elif spill_dir is not None:
+        # No saved copy owns the shards; keep the scratch tree until the
+        # store (the only thing referencing it) is collected.
+        weakref.finalize(store, shutil.rmtree, str(spill_dir), ignore_errors=True)
     return store, TraceCacheInfo(
         key, str(path), hit=False, source="generated", evicted_corrupt=evicted_corrupt
     )
@@ -199,10 +247,11 @@ def get_trace(
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
     workers: int = 1,
+    spill: "bool | None" = None,
 ) -> TraceStore:
     """:func:`fetch_trace` without the provenance record."""
     store, _info = fetch_trace(
-        config, cache_dir=cache_dir, use_cache=use_cache, workers=workers
+        config, cache_dir=cache_dir, use_cache=use_cache, workers=workers, spill=spill
     )
     return store
 

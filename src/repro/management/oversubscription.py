@@ -82,21 +82,29 @@ class ChanceConstrainedOversubscriber:
         seed: int,
     ) -> list[_Candidate]:
         duration = self.store.metadata.duration
-        candidates = []
+        # Select ids first, materialize demand after: sampling depends only
+        # on the eligible count, so the chosen VMs are identical, but the
+        # float64 demand series are built for max_candidates VMs instead of
+        # every long-lived VM in the trace.
+        eligible: list[tuple[int, float]] = []
         for vm_id in self.store.vm_ids_with_utilization(cloud=cloud):
             vm = self.store.vm(vm_id)
             alive = min(vm.ended_at, duration) - max(vm.created_at, 0.0)
             if alive < min_alive_fraction * duration:
                 continue
-            series = self.store.utilization(vm_id).astype(np.float64)
-            candidates.append(
-                _Candidate(vm_id=vm_id, cores=vm.cores, demand=vm.cores * series)
-            )
-        if max_candidates is not None and len(candidates) > max_candidates:
+            eligible.append((vm_id, vm.cores))
+        if max_candidates is not None and len(eligible) > max_candidates:
             rng = np.random.default_rng(seed)
-            idx = rng.choice(len(candidates), size=max_candidates, replace=False)
-            candidates = [candidates[i] for i in sorted(idx)]
-        return candidates
+            idx = rng.choice(len(eligible), size=max_candidates, replace=False)
+            eligible = [eligible[i] for i in sorted(idx)]
+        return [
+            _Candidate(
+                vm_id=vm_id,
+                cores=cores,
+                demand=cores * self.store.utilization(vm_id).astype(np.float64),
+            )
+            for vm_id, cores in eligible
+        ]
 
     @property
     def n_candidates(self) -> int:

@@ -47,7 +47,10 @@ def all_node_utilizations(
     """Utilization series for every node with telemetry, grouped in one pass.
 
     Prefer this over calling :func:`node_utilization` per node when scanning
-    a fleet: it groups VMs by node once instead of per call.
+    a fleet: it groups VMs by node once instead of per call.  Note the
+    result holds one float64 series *per node* -- at paper scale that dict
+    alone exceeds the memory budget, so fleet-wide consumers (e.g. the
+    Fig. 7a study) derive each node's series on demand instead.
     """
     sums: dict[int, np.ndarray] = {}
     for node_id, vms in store.vms_by_node(cloud=cloud).items():
@@ -74,7 +77,13 @@ def region_average_utilization(
     region: str | None = None,
     vm_ids: list[int] | None = None,
 ) -> np.ndarray:
-    """Average utilization across a VM population (equal VM weights)."""
+    """Average utilization across a VM population (equal VM weights).
+
+    Delegates to :meth:`~repro.telemetry.store.TraceStore.utilization_mean`,
+    which accumulates in float64 over fixed row chunks -- the population may
+    be an entire cloud, and materializing its full matrix would dwarf the
+    result.
+    """
     if vm_ids is None:
         vm_ids = [
             vm.vm_id
@@ -83,8 +92,28 @@ def region_average_utilization(
         ]
     if not vm_ids:
         raise ValueError("no VMs with utilization match the filter")
-    matrix = store.utilization_matrix(vm_ids)
-    return matrix.mean(axis=0).astype(np.float64)
+    return store.utilization_mean(vm_ids)
+
+
+def subscription_region_vm_ids(
+    store: TraceStore, *, cloud: Cloud | None = None
+) -> dict[int, dict[str, list[int]]]:
+    """Telemetry-bearing VM ids grouped by ``(subscription, region)``.
+
+    One pass over the fleet.  The Fig. 7(b) and region-agnostic studies
+    need this grouping for *every* subscription; deriving it per
+    subscription (as :func:`subscription_region_utilization` does) rescans
+    all VMs each time, which is O(n_subscriptions x n_vms) across a fleet
+    scan -- prohibitive at paper scale.
+    """
+    grouped: dict[int, dict[str, list[int]]] = {}
+    for vm in store.vms(cloud=cloud):
+        if not store.has_utilization(vm.vm_id):
+            continue
+        grouped.setdefault(vm.subscription_id, {}).setdefault(
+            vm.region, []
+        ).append(vm.vm_id)
+    return grouped
 
 
 def subscription_region_utilization(
@@ -94,7 +123,9 @@ def subscription_region_utilization(
 
     This is the exact construction behind Fig. 7(b): for each region the
     subscription deploys into, average the utilization of its VMs there.
-    Regions where no VM has telemetry are omitted.
+    Regions where no VM has telemetry are omitted.  When iterating many
+    subscriptions, group once with :func:`subscription_region_vm_ids`
+    instead of calling this in a loop.
     """
     by_region: dict[str, list[int]] = {}
     for vm in store.vms():
@@ -104,6 +135,5 @@ def subscription_region_utilization(
             continue
         by_region.setdefault(vm.region, []).append(vm.vm_id)
     return {
-        region: store.utilization_matrix(ids).mean(axis=0).astype(np.float64)
-        for region, ids in by_region.items()
+        region: store.utilization_mean(ids) for region, ids in by_region.items()
     }

@@ -1,13 +1,28 @@
 """Trace (de)serialization.
 
-A trace saves to a directory with four files:
+A trace saves to a directory:
 
-* ``metadata.json`` -- window duration, sample period, label;
+* ``metadata.json`` -- window duration, sample period, label, format;
 * ``topology.json`` -- regions, clusters, nodes, subscriptions;
 * ``vms.jsonl`` / ``events.jsonl`` -- one JSON object per row;
-* ``utilization.npz`` -- one float32 array per VM (key = vm id);
+* utilization telemetry, in one of two formats:
+
+  - **v2** (default): a ``utilization/`` directory of fixed-size float32
+    ``.npy`` row shards plus an ``index.json`` mapping each shard to its
+    VM ids in row order.  Shards are loaded lazily via
+    ``np.load(..., mmap_mode="r")`` (see :mod:`repro.telemetry.shards`),
+    so opening a paper-scale trace reads only its metadata and workers
+    attach telemetry zero-copy by path.
+  - **v1** (still readable, writable via ``version=1``):
+    ``utilization.npz`` with one array per VM; the reader rebuilds it
+    into a single resident storage block.
+
 * ``checksums.json`` -- sha256 + byte size of every other file, written
-  last so readers can detect truncated or bit-rotted entries.
+  last so readers can detect truncated or bit-rotted entries.  Shard
+  payloads record full digests too, but routine verification checks them
+  shallowly (existence + size) -- hashing gigabytes of telemetry on every
+  load would defeat lazy mapping; pass ``deep=True`` to
+  :func:`verify_trace_dir` for a full audit.
 
 ``ended_at = inf`` (right-censored VMs) is encoded as JSON ``null``.
 
@@ -21,9 +36,11 @@ the entry, and fall back to re-synthesis.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import math
+import os
 import shutil
 import tempfile
 import zipfile
@@ -42,12 +59,20 @@ from repro.telemetry.schema import (
     SubscriptionInfo,
     VMRecord,
 )
+from repro.telemetry.shards import DEFAULT_SHARD_ROWS, ShardRef, write_shard
 from repro.telemetry.store import TraceMetadata, TraceStore
 
 
-#: Files every saved trace directory must contain (``utilization.npz`` is
-#: optional: traces generated without telemetry omit it).
+#: Files every saved trace directory must contain (utilization payloads are
+#: optional: traces generated without telemetry omit them).
 TRACE_FILES = ("metadata.json", "topology.json", "vms.jsonl", "events.jsonl")
+
+#: Current trace directory format; v1 (``utilization.npz``) traces remain
+#: readable and can still be written with ``save_trace(..., version=1)``.
+TRACE_FORMAT_VERSION = 2
+
+#: Subdirectory holding v2 utilization shards and their index.
+UTIL_DIR = "utilization"
 
 #: Integrity sidecar written last by :func:`save_trace`; absent from
 #: traces saved by older versions (integrity then degrades to existence
@@ -72,8 +97,8 @@ class TraceCorruptionError(RuntimeError):
 
 
 def _trace_bytes(directory: Path) -> int:
-    """Total on-disk size of a trace directory's files."""
-    return sum(p.stat().st_size for p in directory.iterdir() if p.is_file())
+    """Total on-disk size of a trace directory's files (shards included)."""
+    return sum(p.stat().st_size for p in directory.rglob("*") if p.is_file())
 
 
 def _file_sha256(path: Path) -> str:
@@ -101,13 +126,16 @@ def is_trace_dir(directory: str | Path, *, check_integrity: bool = False) -> boo
     return True
 
 
-def verify_trace_dir(directory: str | Path) -> Path:
+def verify_trace_dir(directory: str | Path, *, deep: bool = False) -> Path:
     """Check a saved trace's integrity; raises :class:`TraceCorruptionError`.
 
     Every required file must exist and be non-empty; when the
     ``checksums.json`` sidecar is present (traces saved by this version),
-    every recorded file must also match its byte size and sha256 digest.
-    Returns the directory so callers can chain into :func:`load_trace`.
+    every recorded file must also match its byte size, and -- except for
+    utilization shard payloads, which are only size-checked unless
+    ``deep=True`` (hashing GBs of telemetry on every load would defeat
+    lazy mapping) -- its sha256 digest.  Returns the directory so callers
+    can chain into :func:`load_trace`.
     """
     directory = Path(directory)
     for name in TRACE_FILES:
@@ -139,6 +167,8 @@ def verify_trace_dir(directory: str | Path) -> Path:
                 f"trace {directory} has truncated {name} "
                 f"({size} bytes, expected {entry.get('bytes')})"
             )
+        if _is_shard_payload(name) and not deep:
+            continue
         if _file_sha256(path) != entry.get("sha256"):
             raise TraceCorruptionError(
                 f"trace {directory} has a checksum mismatch in {name}"
@@ -146,7 +176,14 @@ def verify_trace_dir(directory: str | Path) -> Path:
     return directory
 
 
-def save_trace_atomic(store: TraceStore, directory: str | Path) -> Path:
+def _is_shard_payload(name: str) -> bool:
+    """Whether a checksum entry is a bulk v2 shard (shallow-verified)."""
+    return name.startswith(f"{UTIL_DIR}/") and name.endswith(".npy")
+
+
+def save_trace_atomic(
+    store: TraceStore, directory: str | Path, *, version: int = TRACE_FORMAT_VERSION
+) -> Path:
     """Like :func:`save_trace`, but all-or-nothing.
 
     The trace is written to a temporary sibling directory and renamed into
@@ -158,12 +195,19 @@ def save_trace_atomic(store: TraceStore, directory: str | Path) -> Path:
     directory.parent.mkdir(parents=True, exist_ok=True)
     tmp = Path(tempfile.mkdtemp(prefix=f".{directory.name}.tmp-", dir=directory.parent))
     try:
-        save_trace(store, tmp)
+        with span("io.save_trace", vms=len(store)):
+            adopted = _save_trace(store, tmp, version)
+        won = True
         try:
             tmp.rename(directory)
         except OSError:
+            won = False
             if not is_trace_dir(directory):
                 raise
+        if won:
+            _repoint_shards(adopted, directory)
+            _TRACES_WRITTEN.inc()
+            _BYTES_WRITTEN.inc(_trace_bytes(directory))
     finally:
         _cleanup_tmp_dir(tmp)
     return directory
@@ -187,22 +231,46 @@ def _cleanup_tmp_dir(tmp: Path) -> None:
             pass
 
 
-def save_trace(store: TraceStore, directory: str | Path) -> Path:
-    """Write ``store`` to ``directory`` (created if missing); returns the path."""
+def save_trace(
+    store: TraceStore, directory: str | Path, *, version: int = TRACE_FORMAT_VERSION
+) -> Path:
+    """Write ``store`` to ``directory`` (created if missing); returns the path.
+
+    ``version=2`` (the default) writes sharded utilization; orphaned rows
+    are never written, so a save/load round trip implicitly compacts.
+    Lazy shard blocks whose layout already matches the save order are
+    adopted -- hard-linked (or copied) into place without decompressing or
+    rewriting their bytes -- and the store's references are re-pointed at
+    the saved copies, so a spill directory used during generation can be
+    deleted right after saving.
+    """
+    directory = Path(directory)
     with span("io.save_trace", vms=len(store)):
-        directory = _save_trace(store, Path(directory))
+        adopted = _save_trace(store, directory, version)
+    _repoint_shards(adopted, directory)
     _TRACES_WRITTEN.inc()
     _BYTES_WRITTEN.inc(_trace_bytes(directory))
     return directory
 
 
-def _save_trace(store: TraceStore, directory: Path) -> Path:
+def _repoint_shards(adopted: "list[tuple[ShardRef, str]]", directory: Path) -> None:
+    """Point adopted shard refs at their saved copies under ``directory``."""
+    for ref, relative in adopted:
+        ref.path = directory / relative
+
+
+def _save_trace(
+    store: TraceStore, directory: Path, version: int
+) -> "list[tuple[ShardRef, str]]":
+    if version not in (1, TRACE_FORMAT_VERSION):
+        raise ValueError(f"unknown trace format version {version}")
     directory.mkdir(parents=True, exist_ok=True)
 
     meta = {
         "duration": store.metadata.duration,
         "sample_period": store.metadata.sample_period,
         "label": store.metadata.label,
+        "format": version,
     }
     (directory / "metadata.json").write_text(json.dumps(meta, indent=2))
 
@@ -210,11 +278,11 @@ def _save_trace(store: TraceStore, directory: Path) -> Path:
     # deterministic function of the simulated week -- so these writes keep
     # it deliberately instead of re-sorting entities by id.
     topology = {
-        "regions": [vars(r) for r in store.regions.values()],  # lint: allow[REP005]
-        "clusters": [_plain(vars(c)) for c in store.clusters.values()],  # lint: allow[REP005]
-        "nodes": [_plain(vars(n)) for n in store.nodes.values()],  # lint: allow[REP005]
+        "regions": [_record_dict(r) for r in store.regions.values()],  # lint: allow[REP005]
+        "clusters": [_plain(_record_dict(c)) for c in store.clusters.values()],  # lint: allow[REP005]
+        "nodes": [_plain(_record_dict(n)) for n in store.nodes.values()],  # lint: allow[REP005]
         "subscriptions": [
-            {**_plain(vars(s)), "regions": list(s.regions)}
+            {**_plain(_record_dict(s)), "regions": list(s.regions)}
             for s in store.subscriptions.values()  # lint: allow[REP005]
         ],
     }
@@ -222,30 +290,120 @@ def _save_trace(store: TraceStore, directory: Path) -> Path:
 
     with (directory / "vms.jsonl").open("w") as fh:
         for vm in store.vms():
-            row = _plain(vars(vm))
+            row = _plain(_record_dict(vm))
             if math.isinf(vm.ended_at):
                 row["ended_at"] = None
             fh.write(json.dumps(row) + "\n")
 
     with (directory / "events.jsonl").open("w") as fh:
         for event in store.events():
-            fh.write(json.dumps(_plain(vars(event))) + "\n")
+            fh.write(json.dumps(_plain(_record_dict(event))) + "\n")
 
-    arrays = {str(vm_id): series for vm_id, series in store.iter_utilization()}
-    np.savez_compressed(directory / "utilization.npz", **arrays)
+    if version == 1:
+        adopted: list[tuple[ShardRef, str]] = []
+        arrays = {str(vm_id): series for vm_id, series in store.iter_utilization()}
+        np.savez_compressed(directory / "utilization.npz", **arrays)
+    else:
+        adopted = _save_utilization_v2(store, directory)
 
     # The integrity sidecar goes last: its presence implies every hashed
     # file was fully written, so a torn save can never verify.
     payload = {
         "algorithm": "sha256",
         "files": {
-            path.name: {"sha256": _file_sha256(path), "bytes": path.stat().st_size}
-            for path in sorted(directory.iterdir())
+            path.relative_to(directory).as_posix(): {
+                "sha256": _file_sha256(path),
+                "bytes": path.stat().st_size,
+            }
+            for path in sorted(directory.rglob("*"))
             if path.is_file() and path.name != CHECKSUM_FILE
         },
     }
     (directory / CHECKSUM_FILE).write_text(json.dumps(payload, indent=2))
-    return directory
+    return adopted
+
+
+def _link_or_copy(source: Path, target: Path) -> None:
+    """Hard-link ``source`` to ``target``, copying if linking is impossible."""
+    try:
+        os.link(source, target)
+    except OSError:
+        shutil.copy2(source, target)
+
+
+def _save_utilization_v2(
+    store: TraceStore, directory: Path
+) -> "list[tuple[ShardRef, str]]":
+    """Write live utilization rows as fixed-size shards + index.
+
+    Rows are emitted in attachment (``iter_utilization``) order.  A lazy
+    shard block whose rows are all live and contiguous in that order is
+    *adopted*: its file is hard-linked into the trace instead of being
+    read and rewritten, which is what makes saving a freshly spilled
+    paper-scale trace an O(metadata) operation.  Returns the adopted
+    ``(ref, relative_path)`` pairs so callers can re-point the refs once
+    the trace reaches its final location.
+    """
+    entries = list(store._util_index.items())
+    if not entries:
+        return []
+    util_dir = directory / UTIL_DIR
+    util_dir.mkdir(parents=True, exist_ok=True)
+    shard_entries: list[dict] = []
+    adopted: list[tuple[ShardRef, str]] = []
+    pending: list[int] = []
+
+    def flush_pending() -> None:
+        if not pending:
+            return
+        seq = len(shard_entries)
+        rows = store.utilization_matrix(pending)
+        ref = write_shard(util_dir / f"{seq:05d}.npy", rows)
+        shard_entries.append(
+            {"file": ref.path.name, "rows": ref.n_rows, "vm_ids": list(pending)}
+        )
+        pending.clear()
+
+    i = 0
+    while i < len(entries):
+        _, (block_idx, row) = entries[i]
+        block = store._util_blocks[block_idx]
+        if (
+            isinstance(block, ShardRef)
+            and row == 0
+            and i + block.n_rows <= len(entries)
+            and all(
+                entries[i + j][1] == (block_idx, j) for j in range(block.n_rows)
+            )
+        ):
+            flush_pending()
+            seq = len(shard_entries)
+            name = f"{seq:05d}-{block.path.stem}.npy"
+            _link_or_copy(block.path, util_dir / name)
+            shard_entries.append(
+                {
+                    "file": name,
+                    "rows": block.n_rows,
+                    "vm_ids": [entries[i + j][0] for j in range(block.n_rows)],
+                }
+            )
+            adopted.append((block, f"{UTIL_DIR}/{name}"))
+            i += block.n_rows
+            continue
+        pending.append(entries[i][0])
+        if len(pending) == DEFAULT_SHARD_ROWS:
+            flush_pending()
+        i += 1
+    flush_pending()
+
+    index = {
+        "version": TRACE_FORMAT_VERSION,
+        "n_samples": store.metadata.n_samples,
+        "shard_rows": DEFAULT_SHARD_ROWS,
+        "shards": shard_entries,
+    }
+    (util_dir / "index.json").write_text(json.dumps(index))
+    return adopted
 
 
 def load_trace(directory: str | Path) -> TraceStore:
@@ -317,18 +475,43 @@ def _load_trace(directory: Path) -> TraceStore:
             row["kind"] = EventKind(row["kind"])
             store.add_event(EventRecord(**row))
 
+    if int(meta.get("format", 1)) >= 2:
+        index_path = directory / UTIL_DIR / "index.json"
+        if index_path.exists():
+            index = json.loads(index_path.read_text())
+            n_samples = store.metadata.n_samples
+            for entry in index["shards"]:
+                # Shards attach lazily: no telemetry byte is read here, and
+                # worker processes loading the same trace share the bytes
+                # through the page cache (zero-copy attach by path).
+                store.add_utilization_shard(
+                    [int(vm_id) for vm_id in entry["vm_ids"]],
+                    ShardRef(
+                        directory / UTIL_DIR / entry["file"],
+                        int(entry["rows"]),
+                        n_samples,
+                    ),
+                )
+        return store
+
     npz_path = directory / "utilization.npz"
     if npz_path.exists():
         with np.load(npz_path) as arrays:
             keys = arrays.files
             if keys:
                 # One storage block for the whole trace instead of one tiny
-                # array per VM.
+                # array per VM, so ``utilization_matrix`` keeps its
+                # single-block fast path after any cache round trip.
                 store.add_utilization_block(
                     [int(key) for key in keys],
                     np.vstack([arrays[key] for key in keys]),
                 )
     return store
+
+
+def _record_dict(record) -> dict:
+    """Field dict of a (possibly slotted) dataclass record, in field order."""
+    return {f.name: getattr(record, f.name) for f in dataclasses.fields(record)}
 
 
 def _plain(row: dict) -> dict:

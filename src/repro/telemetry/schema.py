@@ -51,7 +51,7 @@ class EventKind(str, enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VMRecord:
     """One row of the VM inventory table.
 
@@ -94,7 +94,7 @@ class VMRecord:
         return self.ended_at != float("inf")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EventRecord:
     """One row of the events table."""
 
@@ -107,7 +107,7 @@ class EventRecord:
     detail: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeInfo:
     """Static description of one node of the simulated fleet."""
 
@@ -120,7 +120,7 @@ class NodeInfo:
     capacity_memory_gb: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClusterInfo:
     """Static description of one cluster (thousands of identical-SKU nodes)."""
 
@@ -137,7 +137,7 @@ class ClusterInfo:
         return self.n_nodes * self.node_capacity_cores
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RegionInfo:
     """Static description of one region (geo-location)."""
 
@@ -149,7 +149,7 @@ class RegionInfo:
     renewable_score: float = 0.5
 
 
-@dataclass
+@dataclass(slots=True)
 class SubscriptionInfo:
     """Static description of one subscription."""
 

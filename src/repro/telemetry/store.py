@@ -21,6 +21,16 @@ wrapping the series in a single-row block.  All reads
 (:meth:`~TraceStore.utilization`, :meth:`~TraceStore.utilization_matrix`,
 :meth:`~TraceStore.iter_utilization`, :meth:`~TraceStore.merge`) go through
 the index, so callers never see the physical layout.
+
+A block may be resident (an ``np.ndarray``) or lazy (a
+:class:`~repro.telemetry.shards.ShardRef` memory-mapping a v2 trace shard
+on first touch); every internal access resolves through
+:meth:`TraceStore._block`, so the two kinds are indistinguishable to
+callers.  Reads hand out **read-only** views -- mutating a returned series
+raises instead of silently corrupting every other reader of the shared
+block.  Re-attaching a series orphans its old row; the store accounts for
+orphaned rows and dead bytes (see :meth:`~TraceStore.summary`) and
+:meth:`~TraceStore.compact` rewrites the affected blocks to reclaim them.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ import numpy as np
 
 from repro.obs import Counter
 from repro.timebase import SAMPLE_PERIOD, SECONDS_PER_WEEK
+from repro.telemetry.shards import ShardRef
 from repro.telemetry.schema import (
     Cloud,
     ClusterInfo,
@@ -90,9 +101,13 @@ class TraceStore:
         self._events: list[EventRecord] = []
         self._events_sorted = True
         #: Physical telemetry storage: float32 matrices of shape
-        #: (n_vms, n_samples), addressed through ``_util_index``.
-        self._util_blocks: list[np.ndarray] = []
+        #: (n_vms, n_samples) -- resident arrays or lazy ``ShardRef``s --
+        #: addressed through ``_util_index``.
+        self._util_blocks: list[np.ndarray | ShardRef] = []
         self._util_index: dict[int, tuple[int, int]] = {}
+        #: Rows orphaned by re-attachment; their bytes stay allocated in
+        #: the owning block until :meth:`compact` rewrites it.
+        self._orphan_rows = 0
         self.regions: dict[str, RegionInfo] = {}
         self.clusters: dict[int, ClusterInfo] = {}
         self.nodes: dict[int, NodeInfo] = {}
@@ -196,12 +211,122 @@ class TraceStore:
             )
         if block.size and (float(block.min()) < 0.0 or float(block.max()) > 1.0):
             raise ValueError("utilization values must lie in [0, 1]")
+        self._adopt_block(vm_ids, block)
+
+    def add_utilization_shard(self, vm_ids: Sequence[int], shard: ShardRef) -> None:
+        """Attach an on-disk shard as one lazy storage block.
+
+        Row ``i`` of the shard becomes the series of ``vm_ids[i]``, exactly
+        like :meth:`add_utilization_block`, but the shard's bytes are *not*
+        read -- they are memory-mapped on first access.  Value-range
+        validation is the shard writer's responsibility (the v2 loader
+        relies on checksums instead of a full scan, which would defeat lazy
+        loading).
+        """
+        if shard.n_rows != len(vm_ids):
+            raise ValueError(
+                f"shard has {shard.n_rows} rows for {len(vm_ids)} vm ids"
+            )
+        if shard.n_cols != self.metadata.n_samples:
+            raise ValueError(
+                f"shard {shard.path.name} has {shard.n_cols} samples, "
+                f"expected {self.metadata.n_samples}"
+            )
+        if len(set(vm_ids)) != len(vm_ids):
+            raise ValueError("duplicate vm ids in utilization shard")
+        for vm_id in vm_ids:
+            if vm_id not in self._vms:
+                raise KeyError(f"unknown vm_id {vm_id}")
+        self._adopt_block(vm_ids, shard)
+
+    def _adopt_block(
+        self, vm_ids: Sequence[int], block: "np.ndarray | ShardRef"
+    ) -> None:
+        """Register a validated block and re-point (orphaning) old rows."""
+        for vm_id in vm_ids:
+            if vm_id in self._util_index:
+                self._orphan_rows += 1
         block_idx = len(self._util_blocks)
         self._util_blocks.append(block)
         for row, vm_id in enumerate(vm_ids):
             self._util_index[vm_id] = (block_idx, row)
         _BLOCKS_ADDED.inc()
         _BLOCK_BYTES.inc(block.nbytes)
+
+    # ------------------------------------------------------------------
+    # physical block access
+    # ------------------------------------------------------------------
+    def _block(self, block_idx: int) -> np.ndarray:
+        """Resolve block ``block_idx`` to an array (mmapping lazy shards)."""
+        block = self._util_blocks[block_idx]
+        if isinstance(block, ShardRef):
+            return block.open()
+        return block
+
+    def _block_rows(self, block_idx: int) -> int:
+        """Row count of a block without materializing lazy shards."""
+        return self._util_blocks[block_idx].shape[0]
+
+    @property
+    def utilization_bytes(self) -> int:
+        """Total bytes held by utilization blocks, dead rows included."""
+        return sum(block.nbytes for block in self._util_blocks)
+
+    @property
+    def utilization_live_bytes(self) -> int:
+        """Bytes of rows still reachable through the index."""
+        return self.utilization_bytes - self.utilization_orphaned_bytes
+
+    @property
+    def utilization_orphaned_rows(self) -> int:
+        """Rows orphaned by re-attachment and not yet compacted."""
+        return self._orphan_rows
+
+    @property
+    def utilization_orphaned_bytes(self) -> int:
+        """Bytes pinned by orphaned rows (reclaimable via :meth:`compact`)."""
+        return self._orphan_rows * self.metadata.n_samples * 4
+
+    def compact(self) -> int:
+        """Rewrite blocks containing orphaned rows; returns rows reclaimed.
+
+        Blocks with no dead rows are kept as-is (lazy shards stay lazy);
+        blocks with dead rows are rewritten to hold only their live rows,
+        and fully dead blocks are dropped.  The index is renumbered in
+        place, preserving each VM's attachment order.
+        """
+        if self._orphan_rows == 0:
+            return 0
+        live_by_block: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        for vm_id, (block_idx, row) in self._util_index.items():
+            live_by_block[block_idx].append((row, vm_id))
+        new_blocks: list[np.ndarray | ShardRef] = []
+        relocation: dict[int, tuple[int, dict[int, int]]] = {}
+        for block_idx in range(len(self._util_blocks)):
+            live = live_by_block.get(block_idx)
+            if not live:
+                continue  # fully dead: drop the block
+            new_idx = len(new_blocks)
+            if len(live) == self._block_rows(block_idx):
+                new_blocks.append(self._util_blocks[block_idx])
+                relocation[block_idx] = (new_idx, {})
+            else:
+                live.sort()
+                rows = np.fromiter(
+                    (row for row, _ in live), dtype=np.intp, count=len(live)
+                )
+                new_blocks.append(np.ascontiguousarray(self._block(block_idx)[rows]))
+                relocation[block_idx] = (
+                    new_idx,
+                    {row: i for i, (row, _) in enumerate(live)},
+                )
+        reclaimed = self._orphan_rows
+        self._util_blocks = new_blocks
+        for vm_id, (block_idx, row) in self._util_index.items():
+            new_idx, row_map = relocation[block_idx]
+            self._util_index[vm_id] = (new_idx, row_map.get(row, row))
+        self._orphan_rows = 0
+        return reclaimed
 
     # ------------------------------------------------------------------
     # queries
@@ -273,24 +398,41 @@ class TraceStore:
     def utilization(self, vm_id: int) -> np.ndarray | None:
         """The 5-minute utilization series of a VM, or ``None`` if absent.
 
-        The returned array is a read view into the VM's storage block.
+        The returned array is a **read-only** view into the VM's storage
+        block (blocks are shared by every reader, and may be memory-mapped
+        trace shards); writing to it raises.  Copy before mutating.
         """
         loc = self._util_index.get(vm_id)
         if loc is None:
             return None
         block_idx, row = loc
-        return self._util_blocks[block_idx][row]
+        view = self._block(block_idx)[row]
+        view.flags.writeable = False
+        return view
 
     def has_utilization(self, vm_id: int) -> bool:
         """Whether a utilization series is attached to this VM."""
         return vm_id in self._util_index
 
-    def utilization_matrix(self, vm_ids: Iterable[int]) -> np.ndarray:
-        """Stack utilization series of ``vm_ids`` into a (n, T) matrix.
+    def utilization_matrix(
+        self,
+        vm_ids: Iterable[int],
+        *,
+        start: int | None = None,
+        stop: int | None = None,
+    ) -> np.ndarray:
+        """Stack utilization series of ``vm_ids`` into a fresh (n, W) matrix.
 
-        When every requested VM lives in the same storage block the stack is
-        a single fancy-index gather instead of ``n`` separate copies.
+        ``start``/``stop`` select a sample-column window, so streaming
+        kernels can pull one time window across shards without gathering
+        full-length rows.  The result is always a newly allocated matrix
+        (never a view), gathered block-by-block: VMs sharing a storage
+        block are pulled with a single fancy-index gather regardless of how
+        many blocks the request spans, which is what keeps this fast over
+        sharded (2048-row-block) stores.
         """
+        window = slice(start, stop)
+        width = len(range(*window.indices(self.metadata.n_samples)))
         locs = []
         for vm_id in vm_ids:
             loc = self._util_index.get(vm_id)
@@ -298,16 +440,53 @@ class TraceStore:
                 raise KeyError(f"vm {vm_id} has no utilization series")
             locs.append(loc)
         if not locs:
-            return np.empty((0, self.metadata.n_samples), dtype=np.float32)
+            return np.empty((0, width), dtype=np.float32)
         first_block = locs[0][0]
         if all(block_idx == first_block for block_idx, _ in locs):
             rows = np.fromiter(
                 (row for _, row in locs), dtype=np.intp, count=len(locs)
             )
-            return self._util_blocks[first_block][rows]
-        return np.vstack(
-            [self._util_blocks[block_idx][row] for block_idx, row in locs]
-        )
+            return self._block(first_block)[rows, window]
+        out = np.empty((len(locs), width), dtype=np.float32)
+        by_block: dict[int, list[int]] = defaultdict(list)
+        for position, (block_idx, _) in enumerate(locs):
+            by_block[block_idx].append(position)
+        for block_idx, positions in by_block.items():
+            rows = np.fromiter(
+                (locs[p][1] for p in positions), dtype=np.intp, count=len(positions)
+            )
+            out[positions] = self._block(block_idx)[rows, window]
+        return out
+
+    def utilization_mean(
+        self,
+        vm_ids: Sequence[int],
+        *,
+        start: int | None = None,
+        stop: int | None = None,
+        chunk_rows: int = 1024,
+    ) -> np.ndarray:
+        """Column-wise mean utilization over ``vm_ids`` as float64.
+
+        Accumulates in fixed ``chunk_rows`` batches of
+        :meth:`utilization_matrix` gathers, so memory stays bounded by one
+        chunk and -- because the chunk boundaries depend only on the id
+        list, never on the physical block layout -- the result is
+        bit-identical whether the store is resident or shard-backed.
+        """
+        vm_ids = list(vm_ids)
+        window = slice(start, stop)
+        width = len(range(*window.indices(self.metadata.n_samples)))
+        if not vm_ids:
+            return np.zeros(width, dtype=np.float64)
+        acc = np.zeros(width, dtype=np.float64)
+        for lo in range(0, len(vm_ids), chunk_rows):
+            chunk = self.utilization_matrix(
+                vm_ids[lo : lo + chunk_rows], start=start, stop=stop
+            )
+            acc += chunk.sum(axis=0, dtype=np.float64)
+        acc /= len(vm_ids)
+        return acc
 
     def vm_ids_with_utilization(self, *, cloud: Cloud | None = None) -> list[int]:
         """Ids of VMs that have a utilization series attached."""
@@ -342,9 +521,15 @@ class TraceStore:
         return sorted({vm.region for vm in self.vms(cloud=cloud)})
 
     def iter_utilization(self) -> Iterator[tuple[int, np.ndarray]]:
-        """Iterate ``(vm_id, series)`` pairs in attachment order."""
+        """Iterate ``(vm_id, series)`` pairs in attachment order.
+
+        Series are read-only views into shared storage blocks, exactly as
+        :meth:`utilization` returns them.
+        """
         for vm_id, (block_idx, row) in self._util_index.items():
-            yield vm_id, self._util_blocks[block_idx][row]
+            view = self._block(block_idx)[row]
+            view.flags.writeable = False
+            yield vm_id, view
 
     # ------------------------------------------------------------------
     # merging (private + public traces are generated independently)
@@ -389,17 +574,27 @@ class TraceStore:
         self._util_blocks.extend(other._util_blocks)
         for vm_id, (block_idx, row) in other._util_index.items():
             self._util_index[vm_id] = (block_idx + block_offset, row)
+        self._orphan_rows += other._orphan_rows
         self.regions.update(other.regions)
         self.clusters.update(other.clusters)
         self.nodes.update(other.nodes)
         self.subscriptions.update(other.subscriptions)
 
     def summary(self) -> dict[str, int]:
-        """Cheap size summary for logging and reports."""
+        """Cheap size summary for logging and reports.
+
+        Byte figures come from block metadata only -- lazy shards are not
+        touched -- and ``utilization_orphaned_rows``/``_bytes`` expose the
+        storage pinned by re-attached series until :meth:`compact` runs.
+        """
         return {
             "vms": len(self._vms),
             "events": len(self._events),
             "utilization_series": len(self._util_index),
+            "utilization_bytes": self.utilization_bytes,
+            "utilization_live_bytes": self.utilization_live_bytes,
+            "utilization_orphaned_rows": self.utilization_orphaned_rows,
+            "utilization_orphaned_bytes": self.utilization_orphaned_bytes,
             "regions": len(self.regions),
             "clusters": len(self.clusters),
             "nodes": len(self.nodes),

@@ -37,6 +37,7 @@ from repro.telemetry.schema import (
     PATTERN_STABLE,
     SubscriptionInfo,
 )
+from repro.telemetry.shards import DEFAULT_SHARD_ROWS, ShardSpiller
 from repro.telemetry.store import TraceMetadata, TraceStore
 from repro.timebase import (
     SAMPLE_PERIOD,
@@ -56,6 +57,7 @@ from repro.workloads.utilization_models import (
     hourly_peak_signal,
     irregular_signal,
     irregular_signal_block,
+    irregular_spike_counts,
     mask_to_lifetime,
     mask_to_lifetime_block,
     stable_signal,
@@ -71,13 +73,20 @@ GLOBAL_CLOCK_TZ = -8.0
 #: cache keys on this together with :class:`GeneratorConfig`, so bump it
 #: whenever a change alters the generated trace for an unchanged config —
 #: stale cached traces are then invalidated automatically.
-GENERATOR_VERSION = "1"
+GENERATOR_VERSION = "2"
 
 _VMS_GENERATED = Counter("generator.vms")
 _EVENTS_GENERATED = Counter("generator.events")
 _SERIES_SYNTHESIZED = Counter("generator.telemetry_series")
 #: Size distribution of periodic synthesis groups (deterministic per config).
 _GROUP_SIZES = Histogram("generator.group_size", bounds=(1, 4, 16, 64, 256, 1024, 4096))
+
+#: Rows per vectorized synthesis chunk.  Matches the v2 shard size so the
+#: spill path's chunks never cross shard boundaries; every bulk fill is a
+#: single logical RNG draw split row-wise, which numpy's Generators stream
+#: identically however the split falls -- chunked output is bit-identical
+#: to one whole-group fill.
+_SYNTH_CHUNK_ROWS = DEFAULT_SHARD_ROWS
 
 
 @dataclass(frozen=True)
@@ -131,6 +140,7 @@ class TraceGenerator:
         config: GeneratorConfig | None = None,
         *,
         entity_offset: int = 0,
+        spill_dir: "str | None" = None,
     ) -> None:
         self.profile = profile
         self.config = config or GeneratorConfig()
@@ -139,6 +149,17 @@ class TraceGenerator:
         self._rng = np.random.default_rng([self.config.seed, seed_key])
         self._next_deployment = self._offset
         self._subscriptions: list[_Subscription] = []
+        #: When set, synthesized telemetry spills straight into v2 shard
+        #: files under this directory instead of one in-RAM matrix; the
+        #: generated values are bit-identical either way (``spill_dir`` is
+        #: deliberately *not* a GeneratorConfig field, so it never enters
+        #: the trace cache key).
+        self._spill_dir = spill_dir
+        if spill_dir is not None and not self.config.telemetry_batch:
+            raise ValueError(
+                "spill_dir requires telemetry_batch=True; the per-VM loop "
+                "path has no shard writer"
+            )
 
     # ------------------------------------------------------------------
     # public API
@@ -478,15 +499,18 @@ class TraceGenerator:
     def _synthesize_utilization_batch(
         self, profile: CloudProfile, store: TraceStore
     ) -> None:
-        """Vectorized telemetry synthesis: one matrix per signal group.
+        """Vectorized telemetry synthesis in shard-aligned row chunks.
 
         Telemetry-eligible VMs are partitioned into groups that share the
         same base-signal construction -- all stable VMs, all irregular VMs,
         and one ``(subscription, pattern, tz)`` group per periodic service.
-        Each group's per-VM parameters and noise are drawn as a single
-        ``(n_vms, T)`` numpy block, written into one preallocated output
-        matrix, masked to lifetimes in bulk, and registered with the store
-        as a single storage block.
+        Per-VM parameters are drawn once per group; the bulk fills run in
+        fixed row chunks into either one preallocated ``(n_vms, T)`` matrix
+        (registered as a single storage block) or, with ``spill_dir`` set,
+        directly into on-disk v2 shards attached lazily -- paper-scale
+        telemetry then never exists in RAM at once.  Chunking never changes
+        the output: each pass is one logical RNG fill split row-wise, which
+        numpy Generators stream identically however the split falls.
 
         Two deterministic RNG streams are used: per-VM *parameters* (levels,
         amplitudes, spike placement) come from the generator's main PCG64
@@ -525,31 +549,64 @@ class TraceGenerator:
                 key = (sub.subscription_id, vm.pattern, round(tz, 2))
                 periodic.setdefault(key, []).append(entry)
 
-        # Groups are laid out contiguously in one preallocated float32
-        # matrix, so every group writes straight into its slice -- no
-        # scatter copies -- and the whole matrix becomes one storage block.
-        block = np.empty((n_vms, n_samples), dtype=np.float32)
+        # Groups are laid out contiguously in row order -- either in one
+        # preallocated float32 matrix (resident path) or directly in v2
+        # shard files on disk (spill path).  Every bulk fill runs in
+        # shard-aligned row chunks; each chunked pass is one logical RNG
+        # draw split row-wise, so both paths emit the exact bytes the old
+        # whole-group fills produced.
+        spiller = (
+            ShardSpiller(
+                self._spill_dir, n_vms, n_samples, prefix=str(profile.cloud)
+            )
+            if self._spill_dir is not None
+            else None
+        )
+        block = (
+            None if spiller is not None else np.empty((n_vms, n_samples), dtype=np.float32)
+        )
         ordered: list[tuple] = []
 
-        def group_slice(size: int) -> np.ndarray:
-            start = len(ordered)
-            return block[start : start + size]
+        def rows(a: int, b: int) -> np.ndarray:
+            return spiller.rows(a, b) if spiller is not None else block[a:b]
 
-        def finish_group(view: np.ndarray, group: "list[tuple]") -> None:
-            # Mask and clamp the slice right after it is filled, while it is
-            # still cache-resident, instead of re-walking the whole matrix.
+        def chunk_ranges(a: int, b: int) -> "list[tuple[int, int]]":
+            if spiller is not None:
+                return spiller.chunk_ranges(a, b, _SYNTH_CHUNK_ROWS)
+            return [
+                (p, min(b, p + _SYNTH_CHUNK_ROWS))
+                for p in range(a, b, _SYNTH_CHUNK_ROWS)
+            ]
+
+        def release(a: int, b: int) -> None:
+            # Push a finished chunk's dirty pages to disk and hand them
+            # back to the kernel, so spill residency stays O(chunk).
+            if spiller is not None:
+                spiller.release_range(a, b)
+
+        def finish_group(group: "list[tuple]") -> None:
+            # Mask and clamp right after the fill passes, chunk by chunk.
+            start = len(ordered)
             created = np.array([vm.created_at for vm, _, _ in group])
             ended = np.array([vm.ended_at for vm, _, _ in group])
-            mask_to_lifetime_block(view, times, created_at=created, ended_at=ended)
-            np.clip(view, 0.0, 1.0, out=view)
+            for a, b in chunk_ranges(start, start + len(group)):
+                view = rows(a, b)
+                mask_to_lifetime_block(
+                    view,
+                    times,
+                    created_at=created[a - start : b - start],
+                    ended_at=ended[a - start : b - start],
+                )
+                np.clip(view, 0.0, 1.0, out=view)
+                release(a, b)
             ordered.extend(group)
 
-        # One scratch matrix serves both aperiodic groups' additive noise,
-        # so neither group allocates a second (n, T) temporary.  Like the
-        # periodic fast path, noise is variance-matched uniform (see
-        # :func:`vm_series_block_from_signal`): only its variance reaches
-        # any downstream statistic, and uniforms sample ~5x faster.
-        n_scratch = max(len(stable_vms), len(irregular_vms))
+        # One chunk-sized scratch matrix serves both aperiodic groups'
+        # additive noise.  Like the periodic fast path, noise is
+        # variance-matched uniform (see :func:`vm_series_block_from_signal`):
+        # only its variance reaches any downstream statistic, and uniforms
+        # sample ~5x faster.
+        n_scratch = min(_SYNTH_CHUNK_ROWS, max(len(stable_vms), len(irregular_vms)))
         scratch = (
             np.empty((n_scratch, n_samples), dtype=np.float32) if n_scratch else None
         )
@@ -563,20 +620,45 @@ class TraceGenerator:
 
         if stable_vms:
             with span("synthesize.stable", vms=len(stable_vms)):
-                view = group_slice(len(stable_vms))
+                start, n = len(ordered), len(stable_vms)
                 levels = np.array([sub.stable_level for _, sub, _ in stable_vms])
                 levels = np.clip(
-                    levels * rng.lognormal(0.0, 0.2, size=len(stable_vms)), 0.02, 0.6
+                    levels * rng.lognormal(0.0, 0.2, size=n), 0.02, 0.6
                 )
-                stable_signal_block(times, levels, wobble=0.01, rng=fill_rng, out=view)
-                add_noise(view, 0.006)
-                finish_group(view, stable_vms)
+                # Two sequential chunked passes (signal, then noise) keep
+                # the fill_rng draw order of the old whole-group code.
+                for a, b in chunk_ranges(start, start + n):
+                    stable_signal_block(
+                        times,
+                        levels[a - start : b - start],
+                        wobble=0.01,
+                        rng=fill_rng,
+                        out=rows(a, b),
+                    )
+                    release(a, b)
+                for a, b in chunk_ranges(start, start + n):
+                    add_noise(rows(a, b), 0.006)
+                    release(a, b)
+                finish_group(stable_vms)
         if irregular_vms:
             with span("synthesize.irregular", vms=len(irregular_vms)):
-                view = group_slice(len(irregular_vms))
-                irregular_signal_block(times, len(irregular_vms), rng=rng, out=view)
-                add_noise(view, 0.01)
-                finish_group(view, irregular_vms)
+                start, n = len(ordered), len(irregular_vms)
+                # Spike counts for the whole group up front (the draw the
+                # unchunked code made first), then per-chunk placement.
+                counts = irregular_spike_counts(times, n, rng=rng)
+                for a, b in chunk_ranges(start, start + n):
+                    irregular_signal_block(
+                        times,
+                        b - a,
+                        rng=rng,
+                        out=rows(a, b),
+                        counts=counts[a - start : b - start],
+                    )
+                    release(a, b)
+                for a, b in chunk_ranges(start, start + n):
+                    add_noise(rows(a, b), 0.01)
+                    release(a, b)
+                finish_group(irregular_vms)
 
         # All periodic groups on the same sample grid share per-timezone
         # clock arrays; each (subscription, pattern, tz) group still gets
@@ -612,18 +694,27 @@ class TraceGenerator:
                     0.1,
                     1.5,
                 )
-                view = group_slice(len(group))
-                vm_series_block_from_signal(
-                    shared,
-                    amplitudes,
-                    additive_sigma=noise.additive_sigma,
-                    rng=fill_rng,
-                    out=view,
-                )
-                finish_group(view, group)
+                start = len(ordered)
+                for a, b in chunk_ranges(start, start + len(group)):
+                    vm_series_block_from_signal(
+                        shared,
+                        amplitudes[a - start : b - start],
+                        additive_sigma=noise.additive_sigma,
+                        rng=fill_rng,
+                        out=rows(a, b),
+                    )
+                    release(a, b)
+                finish_group(group)
 
         _SERIES_SYNTHESIZED.inc(len(ordered))
-        store.add_utilization_block([vm.vm_id for vm, _, _ in ordered], block)
+        vm_ids = [vm.vm_id for vm, _, _ in ordered]
+        if spiller is not None:
+            row = 0
+            for ref in spiller.finalize():
+                store.add_utilization_shard(vm_ids[row : row + ref.n_rows], ref)
+                row += ref.n_rows
+        else:
+            store.add_utilization_block(vm_ids, block)
 
     def _shared_signal(
         self,
@@ -757,22 +848,34 @@ def generate_trace(
     config: GeneratorConfig | None = None,
     *,
     entity_offset: int = 0,
+    spill_dir: "str | None" = None,
 ) -> TraceStore:
     """Generate a single cloud's trace."""
-    return TraceGenerator(profile, config, entity_offset=entity_offset).generate()
+    return TraceGenerator(
+        profile, config, entity_offset=entity_offset, spill_dir=spill_dir
+    ).generate()
 
 
-def _generate_pair_member(cloud_key: str, config: GeneratorConfig) -> TraceStore:
+def _generate_pair_member(
+    cloud_key: str, config: GeneratorConfig, spill_dir: "str | None" = None
+) -> TraceStore:
     """Generate one member of the private+public pair (process-pool target)."""
     from repro.workloads.profiles import private_profile, public_profile
 
     if cloud_key == "private":
-        return generate_trace(private_profile(), config, entity_offset=0)
-    return generate_trace(public_profile(), config, entity_offset=1)
+        return generate_trace(
+            private_profile(), config, entity_offset=0, spill_dir=spill_dir
+        )
+    return generate_trace(
+        public_profile(), config, entity_offset=1, spill_dir=spill_dir
+    )
 
 
 def generate_trace_pair(
-    config: GeneratorConfig | None = None, *, workers: int = 1
+    config: GeneratorConfig | None = None,
+    *,
+    workers: int = 1,
+    spill_dir: "str | None" = None,
 ) -> TraceStore:
     """Generate the merged private+public trace every experiment consumes.
 
@@ -781,6 +884,11 @@ def generate_trace_pair(
     private, ``[seed, 1]`` for public), so the result is bit-identical to
     the sequential ``workers=1`` run.  Falls back to sequential generation
     when a process pool cannot be started.
+
+    ``spill_dir`` routes telemetry synthesis straight to on-disk v2 shards
+    (the two clouds share the directory under distinct file prefixes, and
+    worker processes hand shards back by path); the trace's values are
+    bit-identical with or without it.
     """
     config = config or GeneratorConfig()
     private: TraceStore | None = None
@@ -790,8 +898,12 @@ def generate_trace_pair(
 
         try:
             with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
-                private_future = pool.submit(_generate_pair_member, "private", config)
-                public_future = pool.submit(_generate_pair_member, "public", config)
+                private_future = pool.submit(
+                    _generate_pair_member, "private", config, spill_dir
+                )
+                public_future = pool.submit(
+                    _generate_pair_member, "public", config, spill_dir
+                )
                 private = private_future.result()
                 public = public_future.result()
         except (OSError, PermissionError):
@@ -799,8 +911,8 @@ def generate_trace_pair(
             # just sequentially.
             private = public = None
     if private is None or public is None:
-        private = _generate_pair_member("private", config)
-        public = _generate_pair_member("public", config)
+        private = _generate_pair_member("private", config, spill_dir)
+        public = _generate_pair_member("public", config, spill_dir)
     merged = TraceStore(
         TraceMetadata(
             duration=config.duration,

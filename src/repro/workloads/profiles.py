@@ -134,15 +134,24 @@ class CloudProfile:
     def scaled(self, scale: float) -> "CloudProfile":
         """Return a copy with subscription counts and churn rates scaled.
 
-        Topology is left unchanged: the paper compares similar cluster
-        populations, and shrinking the fleet with the workload would change
-        packing density.
+        Scaling **down** leaves the topology unchanged: the paper compares
+        similar cluster populations, and shrinking the fleet with the
+        workload would change packing density.  Scaling **up** (scale > 1)
+        adds whole clusters per region instead -- each cluster keeps its
+        rack/node sizing, so per-cluster packing density is preserved while
+        the region gains the capacity the scaled demand needs.  Without
+        that, paper-scale runs saturate the fixed fleet and placement
+        rejections cap the trace far below the requested size.
         """
         if scale <= 0:
             raise ValueError("scale must be positive")
+        clusters = self.clusters_per_region
+        if scale > 1:
+            clusters = max(clusters, int(round(clusters * scale)))
         return replace(
             self,
             n_subscriptions=max(1, int(round(self.n_subscriptions * scale))),
+            clusters_per_region=clusters,
             churn=replace(
                 self.churn,
                 base_rate_per_hour=self.churn.base_rate_per_hour * scale,

@@ -235,6 +235,24 @@ def stable_signal_block(
     return np.clip(walk, 0.0, 1.0, out=walk)
 
 
+def irregular_spike_counts(
+    times: np.ndarray,
+    n_series: int,
+    *,
+    spike_rate_per_day: float = 1.5,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-series spike counts for :func:`irregular_signal_block`.
+
+    Exposed so chunked callers (the generator's spill-to-shard path) can
+    draw the whole group's counts up front -- preserving the exact draw
+    order of the unchunked path -- and pass ``counts[chunk]`` per call.
+    """
+    n = times.shape[0]
+    window_days = (times[-1] - times[0]) / (24 * SECONDS_PER_HOUR) if n > 1 else 0.0
+    return rng.poisson(max(0.0, spike_rate_per_day * window_days), size=n_series)
+
+
 def irregular_signal_block(
     times: np.ndarray,
     n_series: int,
@@ -245,17 +263,22 @@ def irregular_signal_block(
     spike_duration_samples: tuple[int, int] = (2, 12),
     rng: np.random.Generator,
     out: np.ndarray | None = None,
+    counts: np.ndarray | None = None,
 ) -> np.ndarray:
     """:func:`irregular_signal` for many VMs at once: one ``(n, T)`` matrix.
 
     Spike placement stays a (short) per-spike loop -- spikes are rare -- but
-    the base matrix and spike counts are drawn in bulk.
+    the base matrix and spike counts are drawn in bulk.  ``counts``
+    optionally supplies pre-drawn :func:`irregular_spike_counts` (chunked
+    callers hoist the draw to keep the RNG stream identical).
     """
     n = times.shape[0]
     block = _block_out(out, n_series, n)
     block.fill(base_level)
-    window_days = (times[-1] - times[0]) / (24 * SECONDS_PER_HOUR) if n > 1 else 0.0
-    counts = rng.poisson(max(0.0, spike_rate_per_day * window_days), size=n_series)
+    if counts is None:
+        counts = irregular_spike_counts(
+            times, n_series, spike_rate_per_day=spike_rate_per_day, rng=rng
+        )
     for row, n_spikes in zip(block, counts, strict=True):
         for _ in range(int(n_spikes)):
             start = int(rng.integers(0, n))

@@ -305,3 +305,164 @@ class TestClusterInfo:
             node_capacity_cores=96, node_capacity_memory_gb=768,
         )
         assert cluster.capacity_cores == 960
+
+
+class TestReadOnlyViews:
+    """Regression: reads used to hand out writable views into storage."""
+
+    def _store_with_block(self):
+        store = TraceStore()
+        n = store.metadata.n_samples
+        for vm_id in (1, 2):
+            store.add_vm(make_vm(vm_id))
+        store.add_utilization_block(
+            [1, 2], np.full((2, n), 0.5, dtype=np.float32)
+        )
+        return store
+
+    def test_utilization_view_is_read_only(self):
+        store = self._store_with_block()
+        view = store.utilization(1)
+        with pytest.raises(ValueError, match="read-only"):
+            view[0] = 9.0
+        assert float(store.utilization(1)[0]) == 0.5
+
+    def test_iter_utilization_views_are_read_only(self):
+        store = self._store_with_block()
+        for _vm_id, row in store.iter_utilization():
+            with pytest.raises(ValueError, match="read-only"):
+                row[:] = 9.0
+
+    def test_matrix_is_a_fresh_copy(self):
+        # utilization_matrix returns a gather copy; mutating it must not
+        # corrupt the stored series.
+        store = self._store_with_block()
+        matrix = store.utilization_matrix([1, 2])
+        matrix[:] = 9.0
+        assert float(store.utilization(1)[0]) == 0.5
+
+    def test_matrix_window(self):
+        store = self._store_with_block()
+        n = store.metadata.n_samples
+        full = store.utilization_matrix([1, 2])
+        window = store.utilization_matrix([1, 2], start=3, stop=9)
+        np.testing.assert_array_equal(window, full[:, 3:9])
+        tail = store.utilization_matrix([2], start=n - 4)
+        np.testing.assert_array_equal(tail, full[1:, n - 4 :])
+
+    def test_utilization_mean_matches_dense(self):
+        store = TraceStore()
+        n = store.metadata.n_samples
+        rng = np.random.default_rng(7)
+        block = rng.random((5, n)).astype(np.float32)
+        for vm_id in range(1, 6):
+            store.add_vm(make_vm(vm_id))
+        store.add_utilization_block(list(range(1, 6)), block)
+        mean = store.utilization_mean(list(range(1, 6)), chunk_rows=2)
+        np.testing.assert_allclose(
+            mean, block.astype(np.float64).mean(axis=0), rtol=0, atol=1e-12
+        )
+        assert mean.dtype == np.float64
+
+
+class TestOrphanAccountingAndCompact:
+    def _store(self, n_vms=4):
+        store = TraceStore()
+        n = store.metadata.n_samples
+        for vm_id in range(1, n_vms + 1):
+            store.add_vm(make_vm(vm_id))
+        store.add_utilization_block(
+            list(range(1, n_vms + 1)),
+            np.full((n_vms, n), 0.25, dtype=np.float32),
+        )
+        return store, n
+
+    def test_reattach_counts_orphans(self):
+        store, n = self._store()
+        assert store.utilization_orphaned_rows == 0
+        store.add_utilization(2, np.full(n, 0.75))
+        assert store.utilization_orphaned_rows == 1
+        assert store.utilization_orphaned_bytes == n * 4
+        assert (
+            store.utilization_live_bytes
+            == store.utilization_bytes - store.utilization_orphaned_bytes
+        )
+        assert store.summary()["utilization_orphaned_rows"] == 1
+
+    def test_compact_reclaims_orphans_and_preserves_reads(self):
+        store, n = self._store()
+        store.add_utilization(2, np.full(n, 0.75))
+        store.add_utilization(4, np.full(n, 0.9))
+        before = {
+            vm_id: store.utilization(vm_id).copy() for vm_id in (1, 2, 3, 4)
+        }
+        reclaimed = store.compact()
+        assert reclaimed == 2
+        assert store.utilization_orphaned_rows == 0
+        assert store.utilization_bytes == store.utilization_live_bytes
+        for vm_id, expected in before.items():
+            np.testing.assert_array_equal(store.utilization(vm_id), expected)
+
+    def test_compact_drops_fully_dead_blocks(self):
+        store, n = self._store(n_vms=2)
+        # Re-attach every row of the first block; it is then fully dead.
+        store.add_utilization_block(
+            [1, 2], np.full((2, n), 0.6, dtype=np.float32)
+        )
+        assert store.utilization_orphaned_rows == 2
+        store.compact()
+        assert store.utilization_orphaned_rows == 0
+        assert len(store._util_blocks) == 1
+        assert float(store.utilization(1)[0]) == np.float32(0.6)
+
+    def test_compact_noop_when_all_live(self):
+        store, _n = self._store()
+        assert store.compact() == 0
+
+    def test_merge_carries_orphans(self):
+        a, b = TraceStore(), TraceStore()
+        n = a.metadata.n_samples
+        b.add_vm(make_vm(5))
+        b.add_utilization(5, np.full(n, 0.1))
+        b.add_utilization(5, np.full(n, 0.2))
+        assert b.utilization_orphaned_rows == 1
+        a.merge(b)
+        assert a.utilization_orphaned_rows == 1
+
+    def test_merge_then_mutating_source_block_list_is_safe(self):
+        # merge() must not leave the destination aliasing the source's
+        # *block list*: clearing the source store afterwards (as a spilling
+        # caller would) must not disturb the merged reads.
+        a, b = TraceStore(), TraceStore()
+        n = a.metadata.n_samples
+        b.add_vm(make_vm(7))
+        b.add_utilization(7, np.full(n, 0.35))
+        a.merge(b)
+        b._util_blocks.clear()
+        b._util_index.clear()
+        assert float(a.utilization(7)[0]) == np.float32(0.35)
+
+
+class TestTraceMetadataSampleGrid:
+    def test_n_samples_floor_division(self):
+        # Non-integer ratio floors: 7 full samples fit in 2200s at 300s.
+        assert TraceMetadata(duration=2200.0, sample_period=300.0).n_samples == 7
+
+    def test_n_samples_at_scaled_non_integer_durations(self):
+        # duration values produced by float scaling (e.g. 0.1 * a week) are
+        # not exact multiples of the period; the grid must still be the
+        # floor, never one short or one over due to float error.
+        for factor in (0.1, 0.3, 0.7, 1.0, 2.5):
+            meta = TraceMetadata(duration=factor * 604800.0, sample_period=300.0)
+            exact = factor * 604800.0 / 300.0
+            assert meta.n_samples == int(exact // 1)
+            assert meta.n_samples * 300.0 <= meta.duration
+
+    def test_block_width_must_match_grid(self):
+        meta = TraceMetadata(duration=2200.0, sample_period=300.0)
+        store = TraceStore(meta)
+        store.add_vm(make_vm(1))
+        with pytest.raises(ValueError, match="expected 7"):
+            store.add_utilization(1, np.zeros(8, dtype=np.float32))
+        store.add_utilization(1, np.zeros(7, dtype=np.float32))
+        assert store.utilization(1).shape == (7,)

@@ -119,7 +119,9 @@ class TestSaveTraceAtomic:
         def explode(*args, **kwargs):
             raise OSError("disk full")
 
-        monkeypatch.setattr("repro.telemetry.io.save_trace", explode)
+        # Patch the internal writer: save_trace_atomic routes through
+        # _save_trace so shard refs are only re-pointed after the rename.
+        monkeypatch.setattr("repro.telemetry.io._save_trace", explode)
         target = tmp_path / "doomed" / "trace"
         with pytest.raises(OSError, match="disk full"):
             save_trace_atomic(store, target)

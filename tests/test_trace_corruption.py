@@ -34,8 +34,9 @@ from tests.test_store import make_vm
 
 SMALL = GeneratorConfig(seed=3, scale=0.05)
 
-#: Everything a fresh save writes, sidecar included.
-ALL_FILES = TRACE_FILES + ("utilization.npz",)
+#: Everything a fresh (format v2) save writes, sidecar excluded.  Both
+#: fixture traces are small enough to pack into a single shard.
+ALL_FILES = TRACE_FILES + ("utilization/index.json", "utilization/00000.npy")
 
 
 @pytest.fixture(autouse=True)
