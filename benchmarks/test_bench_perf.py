@@ -1,0 +1,90 @@
+"""Kernel benchmarks for the perf campaign behind ``repro bench-perf``.
+
+Not a paper artifact -- these guard the two hot kernels the campaign
+batched, on real generated telemetry rather than synthetic fixtures:
+
+* AUTOPERIOD period detection (``detect_periods_block``), one batched rFFT
+  per surrogate instead of ``n_surrogates`` FFTs per series;
+* pairwise Pearson correlation (``pairwise_pearson``), standardize-once
+  instead of re-deriving each row's moments inside every pair.
+
+Both assert the contract the speed came with: the batched output equals the
+scalar reference **bit for bit** (see docs/PERFORMANCE.md).  The committed
+``BENCH_perf.json`` records the same evidence for the CI gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.stats import pairwise_pearson, pearson_correlation
+from repro.core.periodicity import detect_periods, detect_periods_block
+
+N_SERIES = 64
+
+
+def utilization_block(store) -> np.ndarray:
+    """A block of real full-week utilization series from the warm trace."""
+    vm_ids = store.vm_ids_with_utilization()[:N_SERIES]
+    assert len(vm_ids) == N_SERIES
+    return np.stack([store.utilization(vm_id) for vm_id in vm_ids])
+
+
+def test_detect_periods_block_speedup(benchmark, warm_trace):
+    block = utilization_block(warm_trace)
+
+    start = time.perf_counter()
+    # lint: allow[REP007] -- scalar reference side of the benchmark
+    scalar = [detect_periods(row) for row in block]
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    direct = detect_periods_block(block)
+    batched_s = time.perf_counter() - start
+    batched = benchmark.pedantic(
+        lambda: detect_periods_block(block), rounds=2, iterations=1
+    )
+
+    assert batched == scalar == direct, "batched period detection drifted"
+    speedup = scalar_s / batched_s
+    benchmark.extra_info["series"] = N_SERIES
+    benchmark.extra_info["scalar_seconds"] = round(scalar_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= 1.2, (
+        f"detect_periods_block {batched_s:.3f}s vs scalar {scalar_s:.3f}s "
+        f"({speedup:.2f}x, need >= 1.2x)"
+    )
+
+
+def test_pairwise_pearson_speedup(benchmark, warm_trace):
+    block = utilization_block(warm_trace)
+    m = block.shape[0]
+
+    start = time.perf_counter()
+    scalar = np.full((m, m), np.nan)
+    for i in range(m):
+        for j in range(i, m):
+            # lint: allow[REP007] -- scalar reference side of the benchmark
+            scalar[i, j] = scalar[j, i] = pearson_correlation(block[i], block[j])
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    direct = pairwise_pearson(block)
+    batched_s = time.perf_counter() - start
+    batched = benchmark.pedantic(
+        lambda: pairwise_pearson(block), rounds=2, iterations=1
+    )
+
+    assert np.array_equal(batched, direct, equal_nan=True)
+    both_nan = np.isnan(scalar) & np.isnan(batched)
+    assert np.all((scalar == batched) | both_nan), "pairwise Pearson drifted"
+    speedup = scalar_s / batched_s
+    benchmark.extra_info["pairs"] = m * (m + 1) // 2
+    benchmark.extra_info["scalar_seconds"] = round(scalar_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= 2.0, (
+        f"pairwise_pearson {batched_s:.3f}s vs scalar {scalar_s:.3f}s "
+        f"({speedup:.2f}x, need >= 2x)"
+    )

@@ -17,6 +17,8 @@ from repro.analysis.heatmap import Heatmap2D, build_heatmap
 from repro.analysis.stats import (
     BoxplotStats,
     coefficient_of_variation,
+    coefficient_of_variation_rows,
+    pairwise_pearson,
     pearson_correlation,
     summarize,
 )
@@ -39,7 +41,9 @@ __all__ = [
     "stochastic_dominance_fraction",
     "wasserstein_distance",
     "coefficient_of_variation",
+    "coefficient_of_variation_rows",
     "hourly_event_counts",
+    "pairwise_pearson",
     "hourly_occupancy",
     "moving_average",
     "pearson_correlation",

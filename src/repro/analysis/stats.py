@@ -55,6 +55,65 @@ def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
     return max(-1.0, min(1.0, r))
 
 
+def pairwise_pearson(block: np.ndarray) -> np.ndarray:
+    """All-pairs Pearson correlation matrix over the rows of ``block``.
+
+    Bitwise identical to calling :func:`pearson_correlation` on every row
+    pair: each row is centered once with the same ``mean``/subtract ops the
+    scalar path applies, the self-products ``dot(xc, xc)`` are hoisted out
+    of the pair loop, and each pair numerator still uses ``np.dot`` (BLAS
+    ``ddot``).  A full ``Xc @ Xc.T`` matmul would route through ``dgemm``,
+    whose different summation order breaks the bitwise contract the
+    equality tests enforce -- hoisting the centering and self-dots already
+    removes the redundant per-pair passes, which is where the quadratic
+    cost was.
+
+    Returns an ``(m, m)`` symmetric matrix with ``nan`` for pairs whose
+    denominator is exactly zero (a constant row paired with a finite row).
+    Every other quirk of the scalar estimator is reproduced too, including
+    its clamp behaviour on NaN-poisoned input.
+    """
+    x = np.asarray(block, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected a 2-D block, got shape {x.shape}")
+    m, n = x.shape
+    if n < 2:
+        raise ValueError("Pearson correlation needs at least two samples")
+    xc = x - x.mean(axis=1, keepdims=True)
+    self_dots = np.empty(m, dtype=np.float64)
+    for i in range(m):
+        self_dots[i] = np.dot(xc[i], xc[i])
+    out = np.full((m, m), np.nan, dtype=np.float64)
+    for i in range(m):
+        for j in range(i, m):
+            denom = np.sqrt(self_dots[i] * self_dots[j])
+            if denom == 0:
+                continue
+            r = float(np.dot(xc[i], xc[j]) / denom)
+            out[i, j] = out[j, i] = max(-1.0, min(1.0, r))
+    return out
+
+
+def coefficient_of_variation_rows(block: np.ndarray) -> np.ndarray:
+    """Per-row :func:`coefficient_of_variation` over a 2-D block.
+
+    Bitwise identical to the scalar helper applied row by row
+    (``mean``/``std`` along ``axis=1`` reproduce the per-row reductions
+    exactly); rows with zero mean map to ``nan``.
+    """
+    x = np.asarray(block, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected a 2-D block, got shape {x.shape}")
+    if x.shape[1] == 0:
+        raise ValueError("cannot compute CV of zero samples")
+    means = x.mean(axis=1)
+    stds = x.std(axis=1)
+    out = np.full(x.shape[0], np.nan, dtype=np.float64)
+    live = means != 0
+    out[live] = stds[live] / means[live]
+    return out
+
+
 @dataclass(frozen=True)
 class BoxplotStats:
     """The five-number summary used by the paper's box-plots.

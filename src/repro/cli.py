@@ -13,6 +13,10 @@ Subcommands::
     repro-cloud case-study  [--seed 11]
     repro-cloud bench-scale --cache-dir DIR [--scale 50] [--budget-gb 4]
                             [--tasks fig6 fig7a ...] [--out BENCH_scale.json]
+    repro-cloud bench-perf  --cache-dir DIR [--scale 0.12] [--repeats 3]
+                            [--check] [--baseline BENCH_perf.json]
+                            [--write-baseline] [--tasks fig6 ...]
+                            [--out BENCH_perf.candidate.json]
     repro-cloud lint        [paths...] [--format text|json] [--baseline PATH]
                             [--select/--ignore CODES] [--write-baseline]
 
@@ -325,6 +329,57 @@ def _cmd_bench_scale(args: argparse.Namespace) -> int:
     return 0 if payload["passed"] else 1
 
 
+def _cmd_bench_perf(args: argparse.Namespace) -> int:
+    from repro.experiments.benchperf import (
+        compare_to_baseline,
+        load_artifact,
+        print_summary,
+        render_comparison,
+        run_bench_perf,
+        write_artifact,
+    )
+
+    payload = run_bench_perf(
+        seed=args.seed,
+        scale=args.scale,
+        repeats=args.repeats,
+        cache_dir=args.cache_dir,
+        task_ids=args.tasks,
+    )
+    print_summary(payload)
+    drifted = [k["name"] for k in payload["kernels"] if not k["outputs_identical"]]
+    if args.write_baseline:
+        out = write_artifact(payload, args.baseline)
+        print(f"baseline written to {out}")
+        return 0 if not drifted else 1
+    out = write_artifact(payload, args.out)
+    print(f"wrote {out}")
+    if drifted:
+        print(
+            f"FAIL: kernel output drift in: {', '.join(drifted)}", file=sys.stderr
+        )
+        return 1
+    if not args.check:
+        return 0
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(
+            f"FAIL: no baseline at {baseline_path} (run with --write-baseline "
+            "to create one)",
+            file=sys.stderr,
+        )
+        return 1
+    result = compare_to_baseline(
+        payload,
+        load_artifact(baseline_path),
+        per_task_tolerance=args.per_task_tolerance,
+        total_tolerance=args.total_tolerance,
+        min_task_s=args.min_task_s,
+    )
+    print(render_comparison(result))
+    return 0 if result["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -470,9 +525,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.set_defaults(func=_cmd_bench_scale)
 
+    p_perf = sub.add_parser(
+        "bench-perf",
+        help="per-task wall-time benchmark: run the experiment registry at "
+        "fixed scale and compare against the committed BENCH_perf.json",
+    )
+    p_perf.add_argument("--seed", type=int, default=7)
+    p_perf.add_argument(
+        "--scale", type=float, default=0.12,
+        help="benchmark workload scale (fixed across runs; default 0.12)",
+    )
+    p_perf.add_argument(
+        "--repeats", type=int, default=3,
+        help="measured repeats per task after one discarded warm-up "
+        "(default 3; the artifact records the median)",
+    )
+    p_perf.add_argument(
+        "--cache-dir", type=str, required=True,
+        help="trace cache root (the warm-up run populates it so measured "
+        "repeats never pay generation costs)",
+    )
+    p_perf.add_argument(
+        "--tasks", type=str, nargs="*", default=None,
+        help="measure only these registry task ids (default: all 19)",
+    )
+    p_perf.add_argument(
+        "--out", type=str, default="BENCH_perf.candidate.json",
+        help="candidate artifact path (default: BENCH_perf.candidate.json, "
+        "so the committed baseline is never clobbered by accident)",
+    )
+    p_perf.add_argument(
+        "--baseline", type=str, default="BENCH_perf.json",
+        help="committed baseline path (default: BENCH_perf.json)",
+    )
+    p_perf.add_argument(
+        "--check", action="store_true",
+        help="compare against the baseline and exit 1 on regression",
+    )
+    p_perf.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the measurement to --baseline instead of comparing "
+        "(the escape hatch after an accepted perf change)",
+    )
+    p_perf.add_argument(
+        "--per-task-tolerance", type=float, default=0.20,
+        help="per-task regression tolerance as a fraction (default 0.20)",
+    )
+    p_perf.add_argument(
+        "--total-tolerance", type=float, default=0.10,
+        help="whole-registry regression tolerance (default 0.10)",
+    )
+    p_perf.add_argument(
+        "--min-task-s", type=float, default=0.05,
+        help="skip the per-task gate when both medians are under this "
+        "floor (timer noise; default 0.05s)",
+    )
+    p_perf.set_defaults(func=_cmd_bench_perf)
+
     p_lint = sub.add_parser(
         "lint",
-        help="run the determinism & invariant linter (REP001-REP006, "
+        help="run the determinism & invariant linter (REP001-REP007, "
         "see docs/LINTING.md)",
     )
     from repro.lintkit.cli import add_lint_arguments

@@ -17,8 +17,19 @@ Each module maps to a section of the paper:
 """
 
 from repro.core.knowledge_base import SubscriptionKnowledge, WorkloadKnowledgeBase
-from repro.core.patterns import ClassifierConfig, PatternClassifier, PatternMix, classify_series
-from repro.core.periodicity import detect_periods, periodogram_candidates
+from repro.core.patterns import (
+    ClassifierConfig,
+    PatternClassifier,
+    PatternMix,
+    classify_block,
+    classify_series,
+)
+from repro.core.periodicity import (
+    detect_periods,
+    detect_periods_block,
+    periodogram_candidates,
+    periodogram_candidates_block,
+)
 from repro.core.study import CharacterizationStudy, CloudCharacterization, run_study
 
 __all__ = [
@@ -29,8 +40,11 @@ __all__ = [
     "PatternMix",
     "SubscriptionKnowledge",
     "WorkloadKnowledgeBase",
+    "classify_block",
     "classify_series",
     "detect_periods",
+    "detect_periods_block",
     "periodogram_candidates",
+    "periodogram_candidates_block",
     "run_study",
 ]

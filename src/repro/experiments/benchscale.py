@@ -104,14 +104,19 @@ def _phase_analyze(
     conn.close()
 
 
-_PHASES = {"generate": _phase_generate, "analyze": _phase_analyze}
+def run_subprocess_phase(target, args: tuple) -> dict:
+    """Run one phase in a spawned subprocess and return its report.
 
-
-def _run_phase(name: str, args: tuple) -> dict:
-    """Run one phase in a spawned subprocess and return its report."""
+    ``target`` is a module-level callable taking ``(conn, *args)`` that
+    sends exactly one report dict over the pipe.  Shared by the scale and
+    perf benchmarks (:mod:`repro.experiments.benchperf`): a spawned child
+    gives each phase a clean interpreter, so per-phase ``ru_maxrss`` and
+    wall-times are not polluted by earlier phases' allocator or cache
+    state.
+    """
     ctx = multiprocessing.get_context("spawn")
     recv, send = ctx.Pipe(duplex=False)
-    proc = ctx.Process(target=_PHASES[name], args=(send, *args), daemon=False)
+    proc = ctx.Process(target=target, args=(send, *args), daemon=False)
     proc.start()
     send.close()
     try:
@@ -119,8 +124,8 @@ def _run_phase(name: str, args: tuple) -> dict:
     except EOFError:
         proc.join()
         raise RuntimeError(
-            f"bench phase {name!r} died with exit code {proc.exitcode} "
-            "before reporting"
+            f"bench phase {target.__name__!r} died with exit code "
+            f"{proc.exitcode} before reporting"
         ) from None
     proc.join()
     recv.close()
@@ -140,9 +145,9 @@ def run_bench_scale(
     import numpy as np
 
     cache_dir = str(cache_dir)
-    generate = _run_phase("generate", (seed, scale, cache_dir, workers))
-    analyze = _run_phase(
-        "analyze", (seed, scale, cache_dir, list(task_ids) if task_ids else None)
+    generate = run_subprocess_phase(_phase_generate, (seed, scale, cache_dir, workers))
+    analyze = run_subprocess_phase(
+        _phase_analyze, (seed, scale, cache_dir, list(task_ids) if task_ids else None)
     )
     budget_kb = budget_gb * 1024 * 1024
     degraded = [t["id"] for t in analyze["tasks"] if t["status"] not in ("ok", "retried")]

@@ -1,4 +1,4 @@
-"""The REP001-REP006 rule set: repo-specific determinism & invariant checks.
+"""The REP001-REP007 rule set: repo-specific determinism & invariant checks.
 
 Each rule is a small :class:`~repro.lintkit.framework.Rule` subclass over
 the shared single-parse framework.  The catalog (rationale, examples,
@@ -652,6 +652,94 @@ def _literal_first_arg(node: ast.Call) -> str | None:
 
 
 # ----------------------------------------------------------------------
+# REP007: known-slow idioms in hot modules
+# ----------------------------------------------------------------------
+
+_REP007_HINT = (
+    "use the batched kernels (pairwise_pearson, autocorrelation_block, "
+    "detect_periods_block, classify_block) or hoist the call out of the "
+    "loop; a scalar reference path kept for the bit-compat tests carries "
+    "'# lint: allow[REP007] -- <reason>'; see docs/LINTING.md#rep007"
+)
+
+
+class SlowIdiomRule(Rule):
+    """REP007: per-element numpy idioms inside loops in the hot modules.
+
+    The profile-guided speed campaign (``BENCH_perf.json``) funded batched
+    kernels for exactly these shapes: Pearson correlation computed pair by
+    pair, one FFT per series, and ``np.append`` in a loop (quadratic
+    copying).  This rule keeps the wins from eroding: inside ``core/`` and
+    ``analysis/`` a loop body or comprehension may not call
+    ``pearson_correlation``/``np.corrcoef``, any ``np.fft.*`` function, or
+    ``np.append``.  The scalar reference paths kept for the bit-compat
+    equality tests carry per-line pragmas.
+    """
+
+    code = "REP007"
+    name = "slow-idiom-in-loop"
+    description = "per-series FFT/Pearson/np.append calls inside loops in core/ and analysis/"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if "core" not in ctx.parts and "analysis" not in ctx.parts:
+            return
+        imports = _ImportTracker(ctx.tree)
+        seen: set[tuple[int, int]] = set()
+        for scope in self._loop_scopes(ctx.tree):
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                key = (node.lineno, node.col_offset)
+                if key in seen:
+                    continue
+                problem = self._slow_call(node, imports)
+                if problem is None:
+                    continue
+                seen.add(key)
+                yield ctx.diagnostic(
+                    self.code, node, f"{problem} inside a loop", _REP007_HINT
+                )
+
+    @staticmethod
+    def _loop_scopes(tree: ast.AST) -> Iterator[ast.AST]:
+        """Nodes whose code runs once per iteration of some loop.
+
+        A comprehension's first ``iter`` expression evaluates only once, so
+        it is excluded; everything else in a comprehension is per-element.
+        """
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                yield from node.body
+                yield from node.orelse
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+                yield node.elt
+            elif isinstance(node, ast.DictComp):
+                yield node.key
+                yield node.value
+            if isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for position, gen in enumerate(node.generators):
+                    if position > 0:
+                        yield gen.iter
+                    yield from gen.ifs
+
+    @staticmethod
+    def _slow_call(node: ast.Call, imports: _ImportTracker) -> str | None:
+        canonical = imports.canonical(node.func) or ""
+        if canonical == "numpy.corrcoef":
+            return "per-pair np.corrcoef(...)"
+        if canonical.startswith("numpy.fft."):
+            fn = canonical.rsplit(".", 1)[1]
+            return f"per-series FFT call np.fft.{fn}(...)"
+        if canonical == "numpy.append":
+            return "np.append(...) (quadratic: copies the array every call)"
+        if call_name(node) == "pearson_correlation":
+            return "per-pair pearson_correlation(...)"
+        return None
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -665,6 +753,7 @@ def default_rules() -> list[Rule]:
         SilentBroadExceptRule(),
         UnsortedSinkIterationRule(),
         MetricNameRule(),
+        SlowIdiomRule(),
     ]
 
 

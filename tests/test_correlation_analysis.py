@@ -126,6 +126,43 @@ class TestConstantPairAccounting:
         assert 0.0 <= cdf.evaluate(1.0) <= 1.0
 
 
+class TestBlockedNodeCorrelationBitCompat:
+    """The hoisted-standardization kernel must match the scalar reference."""
+
+    @staticmethod
+    def assert_cdfs_identical(a, b):
+        assert np.array_equal(a.values, b.values, equal_nan=True)
+        assert np.array_equal(a.probabilities, b.probabilities)
+        assert a.n_samples == b.n_samples
+        assert a.n_constant_pairs == b.n_constant_pairs
+
+    def test_matches_reference(self, correlated_store):
+        self.assert_cdfs_identical(
+            corr.node_level_correlation(correlated_store, Cloud.PRIVATE),
+            corr._node_level_correlation_reference(correlated_store, Cloud.PRIVATE),
+        )
+
+    def test_matches_reference_with_constant_vm(self, correlated_store):
+        n = correlated_store.metadata.n_samples
+        correlated_store.add_vm(
+            make_vm(9, node_id=0, subscription_id=100, region="us-east")
+        )
+        correlated_store.add_utilization(9, np.full(n, 0.25))
+        self.assert_cdfs_identical(
+            corr.node_level_correlation(correlated_store, Cloud.PRIVATE),
+            corr._node_level_correlation_reference(correlated_store, Cloud.PRIVATE),
+        )
+
+    def test_matches_reference_on_generated_trace(self, small_trace):
+        for cloud in (Cloud.PRIVATE, Cloud.PUBLIC):
+            self.assert_cdfs_identical(
+                corr.node_level_correlation(small_trace, cloud, max_nodes=40),
+                corr._node_level_correlation_reference(
+                    small_trace, cloud, max_nodes=40
+                ),
+            )
+
+
 class TestRegionLevel:
     def test_us_pair_correlated(self, correlated_store):
         cdf = corr.region_level_correlation(correlated_store, Cloud.PRIVATE)

@@ -333,6 +333,69 @@ def test_rep006_ignores_collections_counter(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# REP007: known-slow idioms in loops (core/ and analysis/ only)
+# ----------------------------------------------------------------------
+
+
+def test_rep007_flags_slow_calls_in_loops(tmp_path):
+    result = lint_snippets(tmp_path, {"core/mod.py": (
+        "import numpy as np\n"
+        "def f(block, pearson_correlation):\n"
+        "    out = np.array([])\n"
+        "    for row in block:\n"
+        "        r = np.corrcoef(row, block[0])\n"
+        "        s = np.fft.rfft(row)\n"
+        "        out = np.append(out, r)\n"
+        "    i = 0\n"
+        "    while i < len(block):\n"
+        "        pearson_correlation(block[i], block[0])\n"
+        "        i += 1\n"
+    )})
+    assert codes(result) == ["REP007"] * 4
+    assert "batched" in result.diagnostics[0].fix_hint
+
+
+def test_rep007_flags_comprehensions_but_not_first_iter(tmp_path):
+    result = lint_snippets(tmp_path, {"analysis/mod.py": (
+        "import numpy as np\n"
+        "def f(block):\n"
+        "    a = [np.fft.rfft(row) for row in block]\n"
+        "    # The first generator's iterable evaluates once, not per item.\n"
+        "    b = [row.sum() for row in np.fft.rfft(block, axis=1)]\n"
+        "    c = [row for row in block if np.corrcoef(row, block[0])[0, 1] > 0]\n"
+    )})
+    assert codes(result) == ["REP007"] * 2
+    assert [d.line for d in result.diagnostics] == [3, 6]
+
+
+def test_rep007_ignores_calls_outside_loops_and_other_packages(tmp_path):
+    result = lint_snippets(tmp_path, {
+        "core/mod.py": (
+            "import numpy as np\n"
+            "spectrum = np.fft.rfft(np.ones(16))\n"  # once, not per series
+        ),
+        "experiments/mod.py": (
+            "import numpy as np\n"
+            "def f(block):\n"
+            "    return [np.corrcoef(r, block[0]) for r in block]\n"
+        ),
+    })
+    assert codes(result) == []
+
+
+def test_rep007_pragma_suppression(tmp_path):
+    result = lint_snippets(tmp_path, {"core/mod.py": (
+        "import numpy as np\n"
+        "def f(block):\n"
+        "    for row in block:\n"
+        "        # lint: allow[REP007] -- scalar reference path\n"
+        "        np.fft.rfft(row)\n"
+    )})
+    assert codes(result) == []
+    assert result.suppressed_pragma == 1
+
+
+# ----------------------------------------------------------------------
 # baseline workflow
 # ----------------------------------------------------------------------
 

@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.patterns import ClassifierConfig, PatternClassifier, PatternMix, classify_series
+from repro.core.patterns import (
+    ClassifierConfig,
+    PatternClassifier,
+    PatternMix,
+    classify_block,
+    classify_series,
+)
 from repro.telemetry.schema import (
     Cloud,
     PATTERN_DIURNAL,
@@ -88,6 +94,47 @@ def test_noise_robustness(times):
     signal = 0.5 * diurnal_signal(times, tz_offset_hours=0)
     noisy = np.clip(signal + rng.normal(0, 0.08, times.size), 0, 1)
     assert classify_series(noisy) == PATTERN_DIURNAL
+
+
+class TestClassifyBlock:
+    """classify_block must agree with per-row classify_series exactly."""
+
+    @pytest.fixture(scope="class")
+    def block(self, examples, times):
+        rng = np.random.default_rng(7)
+        gap = np.clip(
+            0.6 * diurnal_signal(times, tz_offset_hours=0)
+            + rng.normal(0, 0.05, times.size),
+            0,
+            1,
+        )
+        gap[500:600] = np.nan  # telemetry gap
+        rows = list(examples.values()) + [
+            np.full(times.size, 0.3),  # exactly constant (idle VM)
+            rng.uniform(0, 1, times.size),  # white noise
+            gap,
+        ]
+        return np.stack(rows)
+
+    def test_matches_scalar_targeted(self, block):
+        assert classify_block(block) == [classify_series(row) for row in block]
+
+    def test_matches_scalar_autoperiod(self, block):
+        config = ClassifierConfig(method="autoperiod")
+        assert classify_block(block, config) == [
+            classify_series(row, config) for row in block
+        ]
+
+    def test_short_block_all_irregular(self, block):
+        short = block[:, :100]
+        assert classify_block(short) == [PATTERN_IRREGULAR] * short.shape[0]
+
+    def test_empty_block(self):
+        assert classify_block(np.empty((0, 2016))) == []
+
+    def test_rejects_1d(self, block):
+        with pytest.raises(ValueError):
+            classify_block(block[0])
 
 
 class TestPatternMix:

@@ -7,9 +7,12 @@ import pytest
 
 from repro.core.periodicity import (
     autocorrelation,
+    autocorrelation_block,
     detect_periods,
+    detect_periods_block,
     has_period,
     periodogram_candidates,
+    periodogram_candidates_block,
 )
 
 
@@ -82,6 +85,88 @@ class TestDetectPeriods:
         periods = detect_periods(x, rng=rng, max_candidates=16)
         if len(periods) >= 2:
             assert periods[0].power >= periods[1].power
+
+
+def bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact equality, with NaN == NaN (there is no looser tolerance here)."""
+    a, b = np.asarray(a), np.asarray(b)
+    return a.shape == b.shape and bool(np.all((a == b) | (np.isnan(a) & np.isnan(b))))
+
+
+@pytest.fixture(scope="module")
+def mixed_block():
+    """Random, periodic, constant and NaN-gap rows of one odd length.
+
+    701 samples exercises rfft's odd-length bin layout; the NaN row models a
+    telemetry gap and must poison its own results only.
+    """
+    rng = np.random.default_rng(99)
+    n = 701
+    t = np.arange(n, dtype=np.float64)
+    gap = 0.4 + 0.1 * np.sin(2 * np.pi * t / 24)
+    gap[200:230] = np.nan
+    return np.stack(
+        [
+            rng.normal(size=n),
+            np.sin(2 * np.pi * t / 48) + 0.1 * rng.normal(size=n),
+            np.sin(2 * np.pi * t / 288) + 0.7 * np.sin(2 * np.pi * t / 12),
+            np.full(n, 0.37),
+            np.zeros(n),
+            gap,
+        ]
+    )
+
+
+class TestBatchedBitCompat:
+    """The *_block variants must match the scalar path bit for bit."""
+
+    def test_autocorrelation_block(self, mixed_block):
+        batched = autocorrelation_block(mixed_block)
+        for row, series in enumerate(mixed_block):
+            assert bitwise_equal(batched[row], autocorrelation(series)), row
+
+    def test_autocorrelation_block_max_lag(self, mixed_block):
+        batched = autocorrelation_block(mixed_block, max_lag=64)
+        assert batched.shape == (mixed_block.shape[0], 65)
+        for row, series in enumerate(mixed_block):
+            assert bitwise_equal(batched[row], autocorrelation(series, max_lag=64))
+
+    def test_autocorrelation_block_rejects_1d(self):
+        with pytest.raises(ValueError):
+            autocorrelation_block(np.ones(16))
+
+    def test_periodogram_candidates_block(self, mixed_block):
+        batched = periodogram_candidates_block(mixed_block)
+        for row, series in enumerate(mixed_block):
+            # The scalar default is a fresh seed-0 generator per call, which
+            # is exactly what the block path replays per row.
+            scalar = periodogram_candidates(series, rng=np.random.default_rng(0))
+            assert batched[row] == scalar, row
+
+    def test_detect_periods_block(self, mixed_block):
+        batched = detect_periods_block(mixed_block)
+        for row, series in enumerate(mixed_block):
+            scalar = detect_periods(series, rng=np.random.default_rng(0))
+            # DetectedPeriod is a frozen dataclass: == is exact float equality.
+            assert batched[row] == scalar, row
+
+    def test_detect_periods_block_even_week_length(self, rng):
+        t = np.arange(2016, dtype=np.float64)
+        block = 0.3 + 0.2 * np.sin(2 * np.pi * t / 288)[None, :]
+        block = block + 0.05 * rng.normal(size=(5, 2016))
+        block[2] = 0.4
+        batched = detect_periods_block(block)
+        for row, series in enumerate(block):
+            assert batched[row] == detect_periods(series, rng=np.random.default_rng(0))
+
+    def test_single_row_block(self, mixed_block):
+        one = mixed_block[1:2]
+        assert detect_periods_block(one)[0] == detect_periods(
+            one[0], rng=np.random.default_rng(0)
+        )
+
+    def test_empty_block(self):
+        assert detect_periods_block(np.empty((0, 64))) == []
 
 
 class TestHasPeriod:

@@ -11,6 +11,8 @@ from hypothesis.extra import numpy as hnp
 from repro.analysis.stats import (
     BoxplotStats,
     coefficient_of_variation,
+    coefficient_of_variation_rows,
+    pairwise_pearson,
     pearson_correlation,
     summarize,
 )
@@ -88,6 +90,79 @@ class TestPearson:
         a = pearson_correlation(x, y)
         b = pearson_correlation(y, x)
         assert (np.isnan(a) and np.isnan(b)) or a == pytest.approx(b)
+
+
+def scalar_pairwise(block: np.ndarray) -> np.ndarray:
+    """The pre-campaign idiom: one pearson_correlation call per pair."""
+    m = block.shape[0]
+    out = np.full((m, m), np.nan)
+    for i in range(m):
+        for j in range(i, m):
+            out[i, j] = out[j, i] = pearson_correlation(block[i], block[j])
+    return out
+
+
+def assert_bitwise(a: np.ndarray, b: np.ndarray) -> None:
+    both_nan = np.isnan(a) & np.isnan(b)
+    assert np.all((a == b) | both_nan)
+
+
+class TestPairwisePearson:
+    def test_matches_scalar_bitwise(self, rng):
+        block = rng.normal(size=(12, 401))
+        assert_bitwise(pairwise_pearson(block), scalar_pairwise(block))
+
+    def test_constant_and_nan_rows(self, rng):
+        block = rng.normal(size=(6, 200))
+        block[1] = 0.25  # idle VM: every pair involving it is nan
+        block[4, 50:60] = np.nan  # telemetry gap
+        batched = pairwise_pearson(block)
+        scalar = scalar_pairwise(block)
+        assert_bitwise(batched, scalar)
+        # The idle row is nan against every finite row; its pairing with the
+        # NaN-gap row has denom sqrt(0 * nan) = nan != 0, so it clamps to 1.0
+        # (see below) rather than reporting nan.
+        assert np.all(np.isnan(np.delete(batched[1], 4)))
+        # The scalar path's documented quirk -- max(-1, min(1, nan)) clamps
+        # the NaN-poisoned ratio to 1.0 -- must be reproduced, not "fixed".
+        assert batched[4, 0] == scalar[4, 0] == 1.0
+
+    def test_diagonal_matches_scalar(self, rng):
+        block = rng.normal(size=(4, 100))
+        batched = pairwise_pearson(block)
+        for i in range(4):
+            assert batched[i, i] == pearson_correlation(block[i], block[i])
+
+    def test_symmetric(self, rng):
+        matrix = pairwise_pearson(rng.normal(size=(8, 150)))
+        assert np.array_equal(matrix, matrix.T, equal_nan=True)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pairwise_pearson(np.ones(10))
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_pearson(np.ones((3, 1)))
+
+
+class TestCoefficientOfVariationRows:
+    def test_matches_scalar_bitwise(self, rng):
+        block = rng.uniform(0.1, 5.0, size=(9, 168))
+        block[3] = 2.5  # constant row: CV exactly 0
+        block[5] -= block[5].mean()  # zero-mean row: CV nan
+        rows = coefficient_of_variation_rows(block)
+        for i in range(block.shape[0]):
+            scalar = coefficient_of_variation(block[i])
+            assert rows[i] == scalar or (np.isnan(rows[i]) and np.isnan(scalar))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation_rows(np.ones(5))
+
+    def test_zero_columns_raises(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation_rows(np.empty((3, 0)))
 
 
 class TestBoxplotStats:
