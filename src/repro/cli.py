@@ -17,6 +17,12 @@ Subcommands::
                             [--check] [--baseline BENCH_perf.json]
                             [--write-baseline] [--tasks fig6 ...]
                             [--out BENCH_perf.candidate.json]
+    repro-cloud serve       [--seed 7 --scale 0.12] [--host 127.0.0.1 --port 0]
+                            [--speedup 60] [--no-replay] [--duration S]
+    repro-cloud bench-serve --cache-dir DIR [--scale 0.12] [--clients 4]
+                            [--requests-per-client 400] [--check]
+                            [--baseline BENCH_serve.json] [--write-baseline]
+                            [--out BENCH_serve.candidate.json]
     repro-cloud lint        [paths...] [--format text|json] [--baseline PATH]
                             [--select/--ignore CODES] [--write-baseline]
 
@@ -380,6 +386,99 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     return 0 if result["ok"] else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+
+    from repro.serving.replay import replay_trace
+    from repro.serving.service import KnowledgeBaseService
+
+    store = _load_or_generate(args)
+
+    async def _run() -> None:
+        service = KnowledgeBaseService.for_trace(
+            store, queue_maxsize=args.queue_maxsize
+        )
+        host, port = await service.start(host=args.host, port=args.port)
+        # The chosen port is the contract: with the default --port 0 the
+        # kernel picks a free one, and clients read it from this line.
+        print(f"serving workload knowledge base on {host}:{port}", file=sys.stderr)
+        replay_task = None
+        if not args.no_replay:
+            replay_task = asyncio.create_task(
+                replay_trace(store, service, speedup=args.speedup)
+            )
+            print(
+                f"replaying {len(store)} VMs at {args.speedup:g}x "
+                "(0 = as fast as ingest accepts)",
+                file=sys.stderr,
+            )
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()  # serve until interrupted
+        finally:
+            if replay_task is not None:
+                replay_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await replay_task
+            await service.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serving.benchserve import (
+        compare_to_baseline,
+        load_artifact,
+        print_summary,
+        render_comparison,
+        run_bench_serve,
+        write_artifact,
+    )
+
+    payload = run_bench_serve(
+        seed=args.seed,
+        scale=args.scale,
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        speedup=args.speedup,
+        queue_maxsize=args.queue_maxsize,
+        cache_dir=args.cache_dir,
+    )
+    print_summary(payload)
+    if args.write_baseline:
+        out = write_artifact(payload, args.baseline)
+        print(f"baseline written to {out}")
+        return 0
+    out = write_artifact(payload, args.out)
+    print(f"wrote {out}")
+    if not args.check:
+        return 0
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(
+            f"FAIL: no baseline at {baseline_path} (run with --write-baseline "
+            "to create one)",
+            file=sys.stderr,
+        )
+        return 1
+    result = compare_to_baseline(
+        payload,
+        load_artifact(baseline_path),
+        qps_tolerance=args.qps_tolerance,
+        p99_tolerance=args.p99_tolerance,
+        min_p99_ms=args.min_p99_ms,
+    )
+    print(render_comparison(result))
+    return 0 if result["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -581,6 +680,107 @@ def build_parser() -> argparse.ArgumentParser:
         "floor (timer noise; default 0.05s)",
     )
     p_perf.set_defaults(func=_cmd_bench_perf)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the online knowledge-base service over TCP, replaying the "
+        "trace's event stream as a timed arrival process",
+    )
+    _add_trace_args(p_serve)
+    p_serve.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0: let the kernel choose; the chosen port "
+        "is printed on stderr)",
+    )
+    p_serve.add_argument(
+        "--speedup", type=float, default=60.0,
+        help="replay speedup over trace time (default 60; 0 replays as fast "
+        "as the ingest queue accepts)",
+    )
+    p_serve.add_argument(
+        "--no-replay", action="store_true",
+        help="serve topology only and rely on TCP 'ingest' requests for data",
+    )
+    p_serve.add_argument(
+        "--duration", type=float, default=None,
+        help="exit cleanly after this many wall seconds (default: serve "
+        "until interrupted)",
+    )
+    p_serve.add_argument(
+        "--queue-maxsize", type=int, default=64,
+        help="ingest queue depth before producers block (default 64)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_bserve = sub.add_parser(
+        "bench-serve",
+        help="serving benchmark: replay a trace into the live service while "
+        "concurrent clients query it; measure sustained QPS and p99 latency "
+        "and compare against the committed BENCH_serve.json",
+    )
+    p_bserve.add_argument("--seed", type=int, default=7)
+    p_bserve.add_argument(
+        "--scale", type=float, default=0.12,
+        help="benchmark workload scale (fixed across runs; default 0.12)",
+    )
+    p_bserve.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent query clients (default 4; part of the baseline key)",
+    )
+    p_bserve.add_argument(
+        "--requests-per-client", type=int, default=400,
+        help="requests each client issues (default 400; baseline key)",
+    )
+    p_bserve.add_argument(
+        "--speedup", type=float, default=0.0,
+        help="replay pacing during the bench (default 0: ingest-bound, the "
+        "service is measured under maximum ingest pressure)",
+    )
+    p_bserve.add_argument(
+        "--queue-maxsize", type=int, default=64,
+        help="ingest queue depth before replay blocks (default 64)",
+    )
+    p_bserve.add_argument(
+        "--cache-dir", type=str, required=True,
+        help="trace cache root (the warm-up pass populates it so the "
+        "measured pass never pays generation costs)",
+    )
+    p_bserve.add_argument(
+        "--out", type=str, default="BENCH_serve.candidate.json",
+        help="candidate artifact path (default: BENCH_serve.candidate.json)",
+    )
+    p_bserve.add_argument(
+        "--baseline", type=str, default="BENCH_serve.json",
+        help="committed baseline path (default: BENCH_serve.json)",
+    )
+    p_bserve.add_argument(
+        "--check", action="store_true",
+        help="compare against the baseline and exit 1 on regression",
+    )
+    p_bserve.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the measurement to --baseline instead of comparing",
+    )
+    p_bserve.add_argument(
+        "--qps-tolerance", type=float, default=0.40,
+        help="allowed fractional QPS drop vs calibration-normalized "
+        "baseline (default 0.40)",
+    )
+    p_bserve.add_argument(
+        "--p99-tolerance", type=float, default=1.00,
+        help="allowed fractional p99 growth per query type (default 1.00, "
+        "i.e. 2x the normalized baseline)",
+    )
+    p_bserve.add_argument(
+        "--min-p99-ms", type=float, default=2.0,
+        help="skip the p99 gate when both sides are under this floor "
+        "(loopback timer noise; default 2ms)",
+    )
+    p_bserve.set_defaults(func=_cmd_bench_serve)
 
     p_lint = sub.add_parser(
         "lint",

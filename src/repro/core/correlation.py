@@ -278,6 +278,55 @@ class RegionAgnosticReport:
     region_agnostic: bool
 
 
+def subscription_region_report(
+    store: TraceStore,
+    subscription_id: int,
+    service: str,
+    ids_by_region: dict[str, list[int]],
+    *,
+    threshold: float = 0.7,
+    allowed_regions: set[str] | None = None,
+) -> RegionAgnosticReport | None:
+    """Cross-region similarity verdict for one subscription, or ``None``.
+
+    The per-subscription body of :func:`region_agnostic_subscriptions`,
+    factored out so the online knowledge-base service
+    (:mod:`repro.serving`) can re-derive a single dirty subscription's
+    verdict with the exact batch computation.  VM ids are gathered in
+    sorted order, making the result a pure function of the *set* of
+    telemetry-bearing VMs per region -- ingest/attachment order cannot
+    shift a float sum.  ``None`` means the subscription has fewer than two
+    allowed regions with telemetry, or every region pair was constant.
+    """
+    regions = sorted(
+        r
+        for r in ids_by_region
+        if allowed_regions is None or r in allowed_regions
+    )
+    if len(regions) < 2:
+        return None
+    block = np.stack(
+        [store.utilization_mean(sorted(ids_by_region[r])) for r in regions]
+    )
+    matrix = pairwise_pearson(block)
+    pair_correlations = [
+        float(matrix[a, b]) for a, b in combinations(range(len(regions)), 2)
+    ]
+    finite = [r for r in pair_correlations if np.isfinite(r)]
+    if len(finite) < len(pair_correlations):
+        _CONSTANT_PAIRS.inc(len(pair_correlations) - len(finite))
+    if not finite:
+        return None
+    worst = float(min(finite))
+    return RegionAgnosticReport(
+        subscription_id=subscription_id,
+        service=service,
+        regions=tuple(regions),
+        min_pairwise_correlation=worst,
+        region_agnostic=worst >= threshold,
+    )
+
+
 def region_agnostic_subscriptions(
     store: TraceStore,
     cloud: Cloud,
@@ -302,31 +351,16 @@ def region_agnostic_subscriptions(
     for sub_id, sub in sorted(store.subscriptions.items()):
         if sub.cloud != cloud:
             continue
-        ids_by_region = grouped.get(sub_id, {})
-        regions = sorted(r for r in ids_by_region if r in allowed)
-        if len(regions) < 2:
-            continue
-        block = np.stack([store.utilization_mean(ids_by_region[r]) for r in regions])
-        matrix = pairwise_pearson(block)
-        pair_correlations = [
-            float(matrix[a, b]) for a, b in combinations(range(len(regions)), 2)
-        ]
-        finite = [r for r in pair_correlations if np.isfinite(r)]
-        if len(finite) < len(pair_correlations):
-            _CONSTANT_PAIRS.inc(len(pair_correlations) - len(finite))
-        pair_correlations = finite
-        if not pair_correlations:
-            continue
-        worst = float(min(pair_correlations))
-        reports.append(
-            RegionAgnosticReport(
-                subscription_id=sub_id,
-                service=sub.service,
-                regions=tuple(regions),
-                min_pairwise_correlation=worst,
-                region_agnostic=worst >= threshold,
-            )
+        report = subscription_region_report(
+            store,
+            sub_id,
+            sub.service,
+            grouped.get(sub_id, {}),
+            threshold=threshold,
+            allowed_regions=allowed,
         )
+        if report is not None:
+            reports.append(report)
     return reports
 
 

@@ -24,7 +24,7 @@ import numpy as np
 from repro.analysis.stats import coefficient_of_variation
 from repro.analysis.timeseries import hourly_event_counts
 from repro.core.correlation import region_agnostic_subscriptions
-from repro.core.patterns import ClassifierConfig, PatternClassifier
+from repro.core.patterns import ClassifierConfig, classify_block
 from repro.telemetry.schema import (
     Cloud,
     EventKind,
@@ -54,6 +54,133 @@ class KnowledgeDrift:
     field: str
     before: str
     after: str
+
+
+def classify_windows(
+    windows: list[np.ndarray],
+    config: ClassifierConfig | None = None,
+    *,
+    sample_period: float,
+) -> list[str]:
+    """Classify variable-length windows with the batched kernel.
+
+    Windows are grouped by length so each group runs through
+    :func:`~repro.core.patterns.classify_block` (one rFFT per block instead
+    of up to three FFTs per series); labels come back in input order.
+    ``classify_block`` is bitwise identical to the scalar classifier, so
+    grouping cannot change any label.
+    """
+    by_length: dict[int, list[int]] = {}
+    for idx, window in enumerate(windows):
+        by_length.setdefault(int(window.size), []).append(idx)
+    labels: list[str | None] = [None] * len(windows)
+    for length, idxs in by_length.items():
+        block = np.empty((len(idxs), length), dtype=np.float64)
+        for row, idx in enumerate(idxs):
+            block[row] = windows[idx]
+        for idx, label in zip(
+            idxs, classify_block(block, config, sample_period=sample_period),
+            strict=True,
+        ):
+            labels[idx] = label
+    return labels
+
+
+def build_subscription_record(
+    store,
+    sub,
+    vms,
+    *,
+    creations: "list[tuple[float, int]] | tuple" = (),
+    region_agnostic: bool | None = None,
+    classifier_config: ClassifierConfig | None = None,
+    max_classified_vms: int = 50,
+) -> "SubscriptionKnowledge":
+    """Distill one subscription's telemetry into a knowledge record.
+
+    The shared record builder behind both the batch
+    :meth:`WorkloadKnowledgeBase.from_trace` path and the online
+    :class:`~repro.serving.service.KnowledgeBaseService` refresh path --
+    the two must stay byte-identical at every flush point, so there is
+    exactly one implementation.
+
+    ``store`` only needs ``metadata`` and ``utilization(vm_id)``, so any
+    :class:`~repro.telemetry.store.TraceStore`-shaped state works.
+    ``creations`` holds ``(time, vm_id)`` pairs of the subscription's
+    CREATE events.  VMs and creations are processed in sorted order,
+    making the record a pure function of the subscription's *content* --
+    ingest order (batch generation vs. online arrival) cannot shift a
+    float sum or a ``Counter`` tie-break.
+    """
+    duration = store.metadata.duration
+    sample_period = store.metadata.sample_period
+    vms = sorted(vms, key=lambda vm: vm.vm_id)
+    record = SubscriptionKnowledge(
+        subscription_id=sub.subscription_id,
+        cloud=str(sub.cloud),
+        service=sub.service,
+        party=sub.party,
+        n_vms=len(vms),
+        total_cores=float(sum(vm.cores for vm in vms)),
+        regions=tuple(sorted({vm.region for vm in vms})),
+    )
+
+    completed = [
+        vm.lifetime
+        for vm in vms
+        if vm.completed and vm.created_at >= 0 and vm.ended_at <= duration
+    ]
+    if completed:
+        lifetimes = np.array(completed)
+        record.lifetime_p50 = float(np.median(lifetimes))
+        record.short_lived_fraction = float(
+            np.mean(lifetimes <= SHORTEST_BIN_SECONDS)
+        )
+
+    to_classify: list[np.ndarray] = []
+    utils = []
+    for vm in vms:
+        series = store.utilization(vm.vm_id)
+        if series is None:
+            continue
+        start = max(vm.created_at, 0.0)
+        end = min(vm.ended_at, duration)
+        lo = int(np.ceil(start / sample_period))
+        hi = int(np.floor(end / sample_period))
+        window = series[lo:hi]
+        if window.size:
+            utils.append(window)
+        if len(to_classify) < max_classified_vms:
+            to_classify.append(np.asarray(window, dtype=np.float64).ravel())
+    if to_classify:
+        labels = classify_windows(
+            to_classify, classifier_config, sample_period=sample_period
+        )
+        counts = Counter(labels)
+        record.pattern_mix = {
+            p: counts.get(p, 0) / len(labels)
+            for p in (
+                PATTERN_DIURNAL,
+                PATTERN_STABLE,
+                PATTERN_IRREGULAR,
+                PATTERN_HOURLY_PEAK,
+            )
+        }
+        record.dominant_pattern = counts.most_common(1)[0][0]
+    if utils:
+        stacked = np.concatenate(utils)
+        record.mean_utilization = float(stacked.mean())
+        record.p95_utilization = float(np.percentile(stacked, 95))
+
+    if len(creations) >= 12:
+        times = np.array([t for t, _vm_id in sorted(creations)])
+        counts_per_hour = hourly_event_counts(times, duration=duration)
+        cv = coefficient_of_variation(counts_per_hour)
+        if np.isfinite(cv):
+            record.creation_cv = cv
+
+    record.region_agnostic = region_agnostic
+    return record
 
 
 @dataclass
@@ -105,16 +232,21 @@ class WorkloadKnowledgeBase:
         region_agnostic_threshold: float = 0.7,
         max_classified_vms_per_subscription: int = 50,
     ) -> "WorkloadKnowledgeBase":
-        """Extract knowledge from telemetry, like the paper's pipeline."""
-        kb = cls()
-        classifier = PatternClassifier(classifier_config)
-        duration = store.metadata.duration
-        sample_period = store.metadata.sample_period
+        """Extract knowledge from telemetry, like the paper's pipeline.
 
-        creations_by_sub: dict[int, list[float]] = {}
+        Per-subscription distillation lives in
+        :func:`build_subscription_record`, shared with the online
+        :class:`~repro.serving.service.KnowledgeBaseService` so the two
+        paths cannot drift.
+        """
+        kb = cls()
+
+        creations_by_sub: dict[int, list[tuple[float, int]]] = {}
         for event in store.events(kind=EventKind.CREATE):
             vm = store.vm(event.vm_id)
-            creations_by_sub.setdefault(vm.subscription_id, []).append(event.time)
+            creations_by_sub.setdefault(vm.subscription_id, []).append(
+                (event.time, event.vm_id)
+            )
 
         agnostic: dict[int, bool] = {}
         for cloud in (Cloud.PRIVATE, Cloud.PUBLIC):
@@ -131,73 +263,24 @@ class WorkloadKnowledgeBase:
             vms = vms_by_sub.get(sub_id, [])
             if not vms:
                 continue
-            record = SubscriptionKnowledge(
-                subscription_id=sub_id,
-                cloud=str(sub.cloud),
-                service=sub.service,
-                party=sub.party,
-                n_vms=len(vms),
-                total_cores=float(sum(vm.cores for vm in vms)),
-                regions=tuple(sorted({vm.region for vm in vms})),
+            kb._records[sub_id] = build_subscription_record(
+                store,
+                sub,
+                vms,
+                creations=creations_by_sub.get(sub_id, ()),
+                region_agnostic=agnostic.get(sub_id),
+                classifier_config=classifier_config,
+                max_classified_vms=max_classified_vms_per_subscription,
             )
-
-            completed = [
-                vm.lifetime
-                for vm in vms
-                if vm.completed and vm.created_at >= 0 and vm.ended_at <= duration
-            ]
-            if completed:
-                lifetimes = np.array(completed)
-                record.lifetime_p50 = float(np.median(lifetimes))
-                record.short_lived_fraction = float(
-                    np.mean(lifetimes <= SHORTEST_BIN_SECONDS)
-                )
-
-            labels = []
-            utils = []
-            for vm in vms:
-                series = store.utilization(vm.vm_id)
-                if series is None:
-                    continue
-                start = max(vm.created_at, 0.0)
-                end = min(vm.ended_at, duration)
-                lo = int(np.ceil(start / sample_period))
-                hi = int(np.floor(end / sample_period))
-                window = series[lo:hi]
-                if window.size:
-                    utils.append(window)
-                if len(labels) < max_classified_vms_per_subscription:
-                    label = classifier.classify(window, sample_period=sample_period)
-                    labels.append(label)
-            if labels:
-                counts = Counter(labels)
-                record.pattern_mix = {
-                    p: counts.get(p, 0) / len(labels)
-                    for p in (
-                        PATTERN_DIURNAL,
-                        PATTERN_STABLE,
-                        PATTERN_IRREGULAR,
-                        PATTERN_HOURLY_PEAK,
-                    )
-                }
-                record.dominant_pattern = counts.most_common(1)[0][0]
-            if utils:
-                stacked = np.concatenate(utils)
-                record.mean_utilization = float(stacked.mean())
-                record.p95_utilization = float(np.percentile(stacked, 95))
-
-            times = creations_by_sub.get(sub_id, [])
-            if len(times) >= 12:
-                counts_per_hour = hourly_event_counts(
-                    np.array(times), duration=duration
-                )
-                cv = coefficient_of_variation(counts_per_hour)
-                if np.isfinite(cv):
-                    record.creation_cv = cv
-
-            record.region_agnostic = agnostic.get(sub_id)
-            kb._records[sub_id] = record
         return kb
+
+    def put(self, record: SubscriptionKnowledge) -> None:
+        """Insert or replace one record.
+
+        The online :class:`~repro.serving.service.KnowledgeBaseService`
+        uses this to refresh dirty subscriptions in place.
+        """
+        self._records[record.subscription_id] = record
 
     # ------------------------------------------------------------------
     # queries

@@ -52,6 +52,7 @@ __all__ = [
     "DEFAULT_SCALE",
     "DEFAULT_TOTAL_TOLERANCE",
     "SCHEMA_VERSION",
+    "calibration_seconds",
     "compare_to_baseline",
     "render_comparison",
     "run_bench_perf",
@@ -115,6 +116,13 @@ def _calibration_seconds() -> float:
                 raise AssertionError("calibration workload overflowed")
         best = min(best, timing.wall_s)
     return best
+
+
+#: Public alias: other benchmarks (``bench-serve``) time the *same* fixed
+#: workload so their baselines normalize across machines identically --
+#: a box that is 2x slower on this workload is expected to be ~2x slower
+#: on analysis tasks and on serve latencies alike.
+calibration_seconds = _calibration_seconds
 
 
 def _phase_measure(

@@ -1,0 +1,479 @@
+"""Serving benchmark with a committed baseline (``bench-serve``).
+
+The ``bench-perf`` campaign gates the *batch* pipeline's wall-times; this
+module gates the *online* service the same way:
+
+* ``repro bench-serve`` starts a :class:`KnowledgeBaseService` in a spawned
+  subprocess, replays the fixed ``(seed, scale)`` trace into it at full
+  speed, and drives N concurrent TCP clients through a deterministic query
+  mix while ingest is in flight.  Client-observed latencies per query type
+  and sustained QPS land in a schema-versioned ``BENCH_serve.json``.
+* ``--check`` compares a fresh run against the committed baseline,
+  normalized by the shared calibration workload
+  (:func:`repro.experiments.benchperf.calibration_seconds`), and exits
+  nonzero on a relative regression.
+* ``--write-baseline`` refreshes the committed baseline after an accepted
+  change.
+
+Tolerances are deliberately wider than ``bench-perf``'s: loopback TCP
+round trips on a noisy CI runner jitter far more than in-process kernels,
+so the QPS gate allows a large relative drop and the p99 gate allows a
+multiple of the expected tail before failing, with an absolute noise floor
+below which tails are not gated at all (see ``docs/SERVING.md``).
+
+A ``not_found`` reply is a *miss*, not an error: the mix queries VMs and
+subscriptions that may not have been ingested yet while replay races the
+clients -- exactly the situation a live knowledge base serves under.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.benchperf import calibration_seconds
+from repro.experiments.benchscale import run_subprocess_phase, write_artifact
+
+__all__ = [
+    "DEFAULT_CLIENTS",
+    "DEFAULT_P99_TOLERANCE",
+    "DEFAULT_QPS_TOLERANCE",
+    "DEFAULT_REQUESTS_PER_CLIENT",
+    "DEFAULT_SCALE",
+    "SCHEMA_VERSION",
+    "compare_to_baseline",
+    "load_artifact",
+    "print_summary",
+    "render_comparison",
+    "run_bench_serve",
+    "write_artifact",
+]
+
+#: Bumped whenever the artifact layout changes; comparisons across versions
+#: are refused rather than guessed at.
+SCHEMA_VERSION = 1
+
+#: Same benchmark scale as ``bench-perf`` so the cached trace is shared.
+DEFAULT_SCALE = 0.12
+
+DEFAULT_CLIENTS = 4
+DEFAULT_REQUESTS_PER_CLIENT = 400
+
+#: QPS may drop this much relative to the calibrated expectation.
+DEFAULT_QPS_TOLERANCE = 0.40
+#: p99 may exceed the calibrated expectation by this multiple.
+DEFAULT_P99_TOLERANCE = 1.00
+#: Tails below this floor on both sides are timer noise, not gated.
+DEFAULT_MIN_P99_MS = 2.0
+
+#: The query mix: (op, weight).  Weights are cumulative-sampled with a
+#: seeded RNG per client, so the mix is deterministic.
+QUERY_MIX = (
+    ("pattern_for_vm", 0.45),
+    ("spot_eligibility", 0.20),
+    ("allocation_failure_risk", 0.15),
+    ("region_agnostic_candidates", 0.10),
+    ("stats", 0.10),
+)
+
+
+def _build_ops(rng: np.random.Generator, n: int, vm_ids, sub_ids) -> list:
+    """A deterministic request plan of ``n`` (op, args) pairs."""
+    ops = []
+    names = [name for name, _ in QUERY_MIX]
+    weights = np.array([w for _, w in QUERY_MIX])
+    weights = weights / weights.sum()
+    choices = rng.choice(len(names), size=n, p=weights)
+    for pick in choices:
+        op = names[pick]
+        if op == "pattern_for_vm":
+            args = {"vm_id": int(rng.choice(vm_ids))}
+        elif op == "spot_eligibility":
+            args = {"subscription_id": int(rng.choice(sub_ids))}
+        elif op == "allocation_failure_risk":
+            args = {
+                "cloud": "private" if rng.random() < 0.5 else "public",
+                "load_fraction": float(np.round(rng.random(), 3)),
+                "recent_creations": float(int(rng.integers(0, 50))),
+            }
+        elif op == "region_agnostic_candidates":
+            args = {}
+        else:
+            args = {}
+        ops.append((op, args))
+    return ops
+
+
+async def _client_worker(
+    host: str, port: int, ops: list, samples: dict
+) -> None:
+    """Run one connection's request plan, recording per-op latencies."""
+    from repro.serving.service import ServiceClient
+
+    client = await ServiceClient.connect(host, port)
+    try:
+        for op, args in ops:
+            t0 = time.perf_counter()  # lint: allow[REP002] -- client latency probe
+            response = await client.request(op, args)
+            t1 = time.perf_counter()  # lint: allow[REP002] -- client latency probe
+            bucket = samples.setdefault(
+                op, {"latencies": [], "ok": 0, "not_found": 0, "errors": 0}
+            )
+            bucket["latencies"].append((t1 - t0) * 1000.0)
+            if response.get("ok"):
+                bucket["ok"] += 1
+            elif response.get("error", {}).get("kind") == "not_found":
+                bucket["not_found"] += 1
+            else:
+                bucket["errors"] += 1
+    finally:
+        await client.close()
+
+
+async def _drive(
+    store,
+    *,
+    clients: int,
+    requests_per_client: int,
+    seed: int,
+    speedup: float,
+    queue_maxsize: int,
+) -> dict:
+    """Start the service, replay the trace, and race clients against ingest."""
+    from repro.serving.replay import replay_trace
+    from repro.serving.service import KnowledgeBaseService, ServiceClient
+
+    service = KnowledgeBaseService.for_trace(store, queue_maxsize=queue_maxsize)
+    host, port = await service.start()
+
+    vm_ids = store.vm_ids_with_utilization()
+    sub_ids = sorted(store.subscriptions)
+    plans = [
+        _build_ops(
+            np.random.default_rng(seed * 1000 + idx),
+            requests_per_client,
+            vm_ids,
+            sub_ids,
+        )
+        for idx in range(clients)
+    ]
+
+    replay_t0 = time.perf_counter()  # lint: allow[REP002] -- phase wall probe
+    replay_task = asyncio.create_task(
+        replay_trace(store, service, speedup=speedup)
+    )
+    samples: dict = {}
+    query_t0 = time.perf_counter()  # lint: allow[REP002] -- phase wall probe
+    await asyncio.gather(
+        *(_client_worker(host, port, plan, samples) for plan in plans)
+    )
+    query_wall = time.perf_counter() - query_t0  # lint: allow[REP002] -- probe
+    replay_stats = await replay_task
+    replay_wall = time.perf_counter() - replay_t0  # lint: allow[REP002] -- probe
+    await service.drain()
+
+    # One post-drain verification pass: the replayed state must serve a
+    # coherent snapshot (the equivalence suite pins exact bytes; the bench
+    # asserts liveness end-to-end).
+    probe = await ServiceClient.connect(host, port)
+    stats = await probe.call("stats")
+    await probe.close()
+    await service.stop()
+
+    return {
+        "samples": samples,
+        "query_wall_s": query_wall,
+        "replay": {
+            "records": replay_stats.records,
+            "batches": replay_stats.batches,
+            "wall_s": round(replay_wall, 6),
+        },
+        "service": {
+            "vms": stats["vms"],
+            "events": stats["events"],
+            "records": stats["records"],
+        },
+    }
+
+
+def _phase_serve(
+    conn,
+    seed: int,
+    scale: float,
+    cache_dir: str,
+    clients: int,
+    requests_per_client: int,
+    speedup: float,
+    queue_maxsize: int,
+) -> None:
+    """Subprocess body: one full bench pass plus the calibration workload."""
+    from repro.experiments.cache import get_trace
+    from repro.workloads.generator import GeneratorConfig
+
+    store = get_trace(GeneratorConfig(seed=seed, scale=scale), cache_dir=cache_dir)
+    outcome = asyncio.run(
+        _drive(
+            store,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            seed=seed,
+            speedup=speedup,
+            queue_maxsize=queue_maxsize,
+        )
+    )
+    outcome["phase"] = "serve"
+    outcome["calibration_s"] = calibration_seconds()
+    conn.send(outcome)
+    conn.close()
+
+
+def _percentiles(latencies: list) -> dict:
+    arr = np.asarray(latencies, dtype=np.float64)
+    return {
+        "mean_ms": round(float(arr.mean()), 3),
+        "p50_ms": round(float(np.percentile(arr, 50)), 3),
+        "p95_ms": round(float(np.percentile(arr, 95)), 3),
+        "p99_ms": round(float(np.percentile(arr, 99)), 3),
+    }
+
+
+def run_bench_serve(
+    *,
+    seed: int = 7,
+    scale: float = DEFAULT_SCALE,
+    clients: int = DEFAULT_CLIENTS,
+    requests_per_client: int = DEFAULT_REQUESTS_PER_CLIENT,
+    speedup: float = 0.0,
+    queue_maxsize: int = 64,
+    cache_dir: str | Path,
+) -> dict:
+    """Run the serving benchmark and return the artifact payload.
+
+    A warm-up subprocess populates the trace cache (so the measured pass
+    never times generation), then one measured pass runs service, replay
+    and clients in a fresh spawned subprocess.
+    """
+    cache_dir = str(cache_dir)
+    args = (
+        seed,
+        scale,
+        cache_dir,
+        clients,
+        requests_per_client,
+        speedup,
+        queue_maxsize,
+    )
+    run_subprocess_phase(_phase_serve, args)  # warm-up: cache + JIT imports
+    outcome = run_subprocess_phase(_phase_serve, args)
+
+    queries = []
+    total_latencies: list = []
+    total_errors = 0
+    for op in sorted(outcome["samples"]):
+        bucket = outcome["samples"][op]
+        row = {
+            "op": op,
+            "count": len(bucket["latencies"]),
+            "ok": bucket["ok"],
+            "not_found": bucket["not_found"],
+            "errors": bucket["errors"],
+        }
+        row.update(_percentiles(bucket["latencies"]))
+        queries.append(row)
+        total_latencies.extend(bucket["latencies"])
+        total_errors += bucket["errors"]
+
+    total_requests = len(total_latencies)
+    qps = (
+        total_requests / outcome["query_wall_s"]
+        if outcome["query_wall_s"] > 0
+        else 0.0
+    )
+    total = {
+        "requests": total_requests,
+        "errors": total_errors,
+        "wall_s": round(outcome["query_wall_s"], 6),
+        "qps": round(qps, 2),
+    }
+    total.update(_percentiles(total_latencies))
+    return {
+        "bench": "serve",
+        "schema_version": SCHEMA_VERSION,
+        "seed": seed,
+        "scale": scale,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "speedup": speedup,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "calibration_s": round(outcome["calibration_s"], 6),
+        "replay": outcome["replay"],
+        "service": outcome["service"],
+        "queries": queries,
+        "total": total,
+    }
+
+
+def compare_to_baseline(
+    candidate: dict,
+    baseline: dict,
+    *,
+    qps_tolerance: float = DEFAULT_QPS_TOLERANCE,
+    p99_tolerance: float = DEFAULT_P99_TOLERANCE,
+    min_p99_ms: float = DEFAULT_MIN_P99_MS,
+) -> dict:
+    """Pure comparison of a candidate artifact against the baseline.
+
+    Calibration-normalized like ``bench-perf``: on a machine measured to be
+    F times slower than the baseline's, expected QPS scales by ``1/F`` and
+    expected tails scale by ``F``.  Returns ``{"ok", "failures",
+    "machine_factor", "per_op", "total"}``.
+    """
+    failures: list[str] = []
+    for key in ("schema_version", "seed", "scale", "clients", "requests_per_client"):
+        if candidate.get(key) != baseline.get(key):
+            failures.append(
+                f"{key} mismatch: candidate {candidate.get(key)!r} vs "
+                f"baseline {baseline.get(key)!r}"
+            )
+    if failures:
+        return {"ok": False, "failures": failures, "per_op": [], "total": {}}
+
+    base_cal = baseline.get("calibration_s") or 0.0
+    cand_cal = candidate.get("calibration_s") or 0.0
+    if base_cal <= 0 or cand_cal <= 0:
+        failures.append("missing or non-positive calibration_s; cannot normalize")
+        return {"ok": False, "failures": failures, "per_op": [], "total": {}}
+    machine_factor = cand_cal / base_cal
+
+    cand_ops = [q["op"] for q in candidate["queries"]]
+    base_ops = [q["op"] for q in baseline["queries"]]
+    if cand_ops != base_ops:
+        failures.append(
+            f"query mix mismatch: candidate {cand_ops} vs baseline {base_ops}"
+        )
+        return {"ok": False, "failures": failures, "per_op": [], "total": {}}
+
+    if candidate["total"]["errors"] > 0:
+        failures.append(
+            f"candidate reported {candidate['total']['errors']} query error(s)"
+        )
+
+    per_op = []
+    for cand_q, base_q in zip(candidate["queries"], baseline["queries"], strict=True):
+        expected_p99 = base_q["p99_ms"] * machine_factor
+        noise_floor = (
+            cand_q["p99_ms"] < min_p99_ms and expected_p99 < min_p99_ms
+        )
+        regression = (
+            cand_q["p99_ms"] / expected_p99 - 1.0 if expected_p99 > 0 else 0.0
+        )
+        per_op.append(
+            {
+                "op": cand_q["op"],
+                "baseline_p99_ms": base_q["p99_ms"],
+                "expected_p99_ms": round(expected_p99, 3),
+                "candidate_p99_ms": cand_q["p99_ms"],
+                "regression": round(regression, 4),
+                "gated": not noise_floor,
+            }
+        )
+        if not noise_floor and regression > p99_tolerance:
+            failures.append(
+                f"op {cand_q['op']}: p99 {regression:+.1%} vs tolerance "
+                f"{p99_tolerance:+.1%} "
+                f"({cand_q['p99_ms']:.2f}ms vs expected {expected_p99:.2f}ms)"
+            )
+
+    expected_qps = (
+        baseline["total"]["qps"] / machine_factor if machine_factor > 0 else 0.0
+    )
+    qps_drop = (
+        1.0 - candidate["total"]["qps"] / expected_qps if expected_qps > 0 else 0.0
+    )
+    if qps_drop > qps_tolerance:
+        failures.append(
+            f"sustained QPS dropped {qps_drop:+.1%} vs tolerance "
+            f"{qps_tolerance:+.1%} "
+            f"({candidate['total']['qps']:.0f} vs expected {expected_qps:.0f})"
+        )
+    total = {
+        "baseline_qps": baseline["total"]["qps"],
+        "expected_qps": round(expected_qps, 2),
+        "candidate_qps": candidate["total"]["qps"],
+        "qps_drop": round(qps_drop, 4),
+        "baseline_p99_ms": baseline["total"]["p99_ms"],
+        "candidate_p99_ms": candidate["total"]["p99_ms"],
+    }
+    return {
+        "ok": not failures,
+        "failures": failures,
+        "machine_factor": round(machine_factor, 4),
+        "per_op": per_op,
+        "total": total,
+    }
+
+
+def render_comparison(result: dict) -> str:
+    """Human-readable comparison table for the CLI and CI logs."""
+    lines = []
+    if result["per_op"]:
+        lines.append(
+            f"{'op':<28} {'base p99':>9} {'expected':>9} "
+            f"{'candidate':>9} {'delta':>8}"
+        )
+        for row in result["per_op"]:
+            marker = "" if row["gated"] else "  (noise floor, not gated)"
+            lines.append(
+                f"{row['op']:<28} {row['baseline_p99_ms']:>7.2f}ms "
+                f"{row['expected_p99_ms']:>7.2f}ms "
+                f"{row['candidate_p99_ms']:>7.2f}ms "
+                f"{row['regression']:>+7.1%}{marker}"
+            )
+        total = result["total"]
+        lines.append(
+            f"{'QPS':<28} {total['baseline_qps']:>8.0f} "
+            f"{total['expected_qps']:>9.0f} {total['candidate_qps']:>9.0f} "
+            f"{-total['qps_drop']:>+7.1%}"
+        )
+        lines.append(f"machine calibration factor: {result['machine_factor']:.2f}x")
+    for failure in result["failures"]:
+        lines.append(f"FAIL: {failure}")
+    lines.append("serve gate: " + ("ok" if result["ok"] else "REGRESSED"))
+    return "\n".join(lines)
+
+
+def load_artifact(path: str | Path) -> dict:
+    """Load a ``BENCH_serve.json`` artifact."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("bench") != "serve":
+        raise ValueError(f"{path} is not a bench-serve artifact")
+    return payload
+
+
+def print_summary(payload: dict, stream=sys.stderr) -> None:
+    """One-line-per-op summary of a freshly measured artifact."""
+    for row in payload["queries"]:
+        misses = f" miss={row['not_found']}" if row["not_found"] else ""
+        errors = f" ERR={row['errors']}" if row["errors"] else ""
+        print(
+            f"  {row['op']:<28} n={row['count']:<5} p50={row['p50_ms']:>7.2f}ms "
+            f"p99={row['p99_ms']:>7.2f}ms{misses}{errors}",
+            file=stream,
+        )
+    total = payload["total"]
+    print(
+        f"  {'TOTAL':<28} n={total['requests']:<5} qps={total['qps']:.0f} "
+        f"p99={total['p99_ms']:.2f}ms over {total['wall_s']:.2f}s "
+        f"(calibration {payload['calibration_s']:.3f}s)",
+        file=stream,
+    )

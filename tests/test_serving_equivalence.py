@@ -1,0 +1,230 @@
+"""Online-vs-batch equivalence for the serving layer.
+
+The load-bearing invariant of ``repro.serving``: after ingesting any prefix
+of a trace's event stream, ``KnowledgeBaseService.snapshot_json()`` must be
+byte-identical to serializing a ``WorkloadKnowledgeBase`` built from scratch
+over a ``TraceStore`` truncated to the same prefix.  Both paths funnel
+through the same record builders, so any drift here means the online
+bookkeeping diverged from what the batch path scans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.knowledge_base import WorkloadKnowledgeBase
+from repro.serving import KnowledgeBaseService, iter_ingest_records, truncated_store
+from repro.telemetry.schema import (
+    Cloud,
+    EventKind,
+    EventRecord,
+    NodeInfo,
+    RegionInfo,
+    SubscriptionInfo,
+)
+from repro.telemetry.store import TraceStore
+from tests.test_store import make_vm
+
+pytestmark = pytest.mark.serving
+
+
+def _online_snapshot(store: TraceStore, records: list, n: int) -> str:
+    service = KnowledgeBaseService.for_trace(store)
+    service.apply_records(records[:n])
+    return service.snapshot_json()
+
+
+def _batch_snapshot(store: TraceStore, n: int) -> str:
+    return WorkloadKnowledgeBase.from_trace(truncated_store(store, n)).to_json()
+
+
+@pytest.fixture(scope="module")
+def trace_records(small_trace):
+    return list(iter_ingest_records(small_trace))
+
+
+class TestGeneratedTrace:
+    """Acceptance criterion: prefixes {25%, 50%, 100%} are bit-identical."""
+
+    @pytest.mark.parametrize("frac", [0.25, 0.50, 1.00])
+    def test_prefix_bit_identical(self, small_trace, trace_records, frac):
+        n = int(len(trace_records) * frac)
+        online = _online_snapshot(small_trace, trace_records, n)
+        batch = _batch_snapshot(small_trace, n)
+        assert online.encode() == batch.encode()
+
+    def test_full_stream_matches_original_store(self, small_trace, trace_records):
+        """Replaying everything reconstructs the KB of the source store."""
+        online = _online_snapshot(small_trace, trace_records, len(trace_records))
+        original = WorkloadKnowledgeBase.from_trace(small_trace).to_json()
+        assert online == original
+
+    @pytest.mark.slow
+    def test_batch_split_invariance(self, small_trace, trace_records):
+        """How the stream is chopped into batches must not matter, and
+        interleaving refreshes between batches must not change the result."""
+        expected = _batch_snapshot(small_trace, len(trace_records))
+        for chunk in (1_000, len(trace_records) // 7 or 1):
+            service = KnowledgeBaseService.for_trace(small_trace)
+            for lo in range(0, len(trace_records), chunk):
+                service.apply_records(trace_records[lo : lo + chunk])
+                service.refresh()
+            assert service.snapshot_json() == expected
+
+    def test_snapshot_is_idempotent(self, small_trace, trace_records):
+        service = KnowledgeBaseService.for_trace(small_trace)
+        service.apply_records(trace_records[: len(trace_records) // 2])
+        first = service.snapshot_json()
+        assert service.snapshot_json() == first
+
+
+def _edge_store() -> TraceStore:
+    """Hand-built trace exercising degenerate telemetry.
+
+    VM 1: constant series (zero variance -> correlation paths must not NaN).
+    VM 2: NaN gap in the middle of the series.
+    VM 3: all-NaN series and no lifecycle events (pure backfill VM).
+    VM 4: no telemetry at all, evicted mid-window.
+    """
+    store = TraceStore()
+    store.add_region(RegionInfo(name="us-east", tz_offset_hours=-5, country="US"))
+    store.add_region(RegionInfo(name="us-west", tz_offset_hours=-8, country="US"))
+    for node_id in (0, 1):
+        store.add_node(
+            NodeInfo(
+                node_id=node_id,
+                cluster_id=0,
+                rack_id=0,
+                region="us-east",
+                cloud=Cloud.PRIVATE,
+                capacity_cores=16,
+                capacity_memory_gb=64,
+            )
+        )
+    store.add_subscription(
+        SubscriptionInfo(
+            subscription_id=10,
+            cloud=Cloud.PRIVATE,
+            service="svc",
+            regions=("us-east", "us-west"),
+        )
+    )
+    store.add_subscription(
+        SubscriptionInfo(subscription_id=11, cloud=Cloud.PRIVATE, service="other")
+    )
+    n = store.metadata.n_samples
+    end = store.metadata.duration
+
+    store.add_vm(make_vm(1, created_at=0.0, ended_at=end / 2))
+    store.add_utilization(1, np.full(n, 0.25, dtype=np.float32))
+
+    wave = np.clip(
+        0.3 + 0.2 * np.sin(np.linspace(0.0, 12.0, n)), 0.0, 1.0
+    ).astype(np.float32)
+    wave[n // 3 : n // 3 + 7] = np.nan
+    store.add_vm(make_vm(2, region="us-west", created_at=600.0))
+    store.add_utilization(2, wave)
+
+    store.add_vm(make_vm(3, subscription_id=11))
+    store.add_utilization(3, np.full(n, np.nan, dtype=np.float32))
+
+    store.add_vm(make_vm(4, subscription_id=11, created_at=300.0, ended_at=end / 4))
+
+    store.add_event(
+        EventRecord(time=0.0, kind=EventKind.CREATE, vm_id=1,
+                    cloud=Cloud.PRIVATE, region="us-east")
+    )
+    store.add_event(
+        EventRecord(time=300.0, kind=EventKind.CREATE, vm_id=4,
+                    cloud=Cloud.PRIVATE, region="us-east")
+    )
+    store.add_event(
+        EventRecord(time=600.0, kind=EventKind.CREATE, vm_id=2,
+                    cloud=Cloud.PRIVATE, region="us-west")
+    )
+    store.add_event(
+        EventRecord(time=end / 4, kind=EventKind.EVICT, vm_id=4,
+                    cloud=Cloud.PRIVATE, region="us-east")
+    )
+    store.add_event(
+        EventRecord(time=end / 2, kind=EventKind.TERMINATE, vm_id=1,
+                    cloud=Cloud.PRIVATE, region="us-east")
+    )
+    return store
+
+
+class TestEdgeTraces:
+    def test_every_prefix_bit_identical(self):
+        store = _edge_store()
+        records = list(iter_ingest_records(store))
+        # Small enough to check *every* prefix, not just the milestones.
+        for n in range(len(records) + 1):
+            online = _online_snapshot(store, records, n)
+            batch = _batch_snapshot(store, n)
+            assert online.encode() == batch.encode(), f"prefix {n} diverged"
+
+    def test_backfill_vm_precedes_events(self):
+        """VM 3 never has a CREATE event, so it must arrive as backfill
+        before any lifecycle event in the replay order."""
+        store = _edge_store()
+        records = list(iter_ingest_records(store))
+        backfill = [r for r in records if r.event is None]
+        assert [r.vm.vm_id for r in backfill] == [3]
+        first_event_idx = next(
+            i for i, r in enumerate(records) if r.event is not None
+        )
+        assert all(
+            i < first_event_idx for i, r in enumerate(records) if r.event is None
+        )
+
+    def test_censoring_round_trip(self):
+        """Applying a CREATE censors the VM (its end is not yet known);
+        the closing event restores the true end time via ``vm_end``."""
+        from repro.serving import apply_record, copy_topology
+
+        store = _edge_store()
+        records = list(iter_ingest_records(store))
+        create_1 = next(
+            r for r in records
+            if r.event is not None and r.event.kind is EventKind.CREATE
+            and r.event.vm_id == 1
+        )
+        assert create_1.vm is not None
+        terminate_1 = next(
+            r for r in records
+            if r.event is not None and r.event.kind is EventKind.TERMINATE
+            and r.event.vm_id == 1
+        )
+        assert terminate_1.vm_end == store.vm(1).ended_at
+
+        partial = TraceStore(metadata=store.metadata)
+        copy_topology(store, partial)
+        apply_record(partial, create_1)
+        assert partial.vm(1).ended_at == float("inf")
+        apply_record(partial, terminate_1)
+        assert partial.vm(1).ended_at == store.vm(1).ended_at
+
+    def test_truncated_store_prefix_counts(self):
+        store = _edge_store()
+        records = list(iter_ingest_records(store))
+        partial = truncated_store(store, 2)
+        assert len(partial) < len(store)
+        full = truncated_store(store, len(records))
+        assert len(full) == len(store)
+        assert full.summary()["events"] == store.summary()["events"]
+
+
+class TestWireRoundTrip:
+    def test_to_wire_from_wire_preserves_snapshot(self, small_trace, trace_records):
+        """Records that cross the TCP boundary (dict round trip) must apply
+        identically to records that never left the process."""
+        from repro.serving import IngestRecord
+
+        n = len(trace_records) // 4
+        wired = [
+            IngestRecord.from_wire(r.to_wire()) for r in trace_records[:n]
+        ]
+        direct = _online_snapshot(small_trace, trace_records, n)
+        via_wire = _online_snapshot(small_trace, wired, n)
+        assert direct == via_wire
