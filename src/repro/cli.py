@@ -784,7 +784,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="run the determinism & invariant linter (REP001-REP007, "
+        help="run the determinism & invariant linter (REP001-REP012, "
         "see docs/LINTING.md)",
     )
     from repro.lintkit.cli import add_lint_arguments

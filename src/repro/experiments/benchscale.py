@@ -32,6 +32,10 @@ from typing import Sequence
 
 from repro.obs import span
 
+#: Artifact schema version, recorded in BENCH_scale.json; consumers
+#: refuse to compare mismatched versions (REP012 pins the pair).
+SCHEMA_VERSION = 1
+
 #: Default hard per-phase budget, in GiB of peak resident set.
 DEFAULT_BUDGET_GB = 4.0
 
@@ -153,6 +157,7 @@ def run_bench_scale(
     degraded = [t["id"] for t in analyze["tasks"] if t["status"] not in ("ok", "retried")]
     payload = {
         "bench": "scale",
+        "schema_version": SCHEMA_VERSION,
         "seed": seed,
         "scale": scale,
         "budget_gb": budget_gb,

@@ -10,7 +10,17 @@ REP003 ``GeneratorConfig`` fields must enter the trace-cache key
 REP004 broad ``except`` that neither re-raises nor counts the swallow
 REP005 unsorted dict/set iteration feeding hashing/dispatch sinks
 REP006 metric/span naming convention + unique metric registration
+REP007 per-series FFT/Pearson/``np.append`` inside loops in hot paths
+REP008 blocking calls reachable from ``async def`` (incl. transitive)
+REP009 unawaited coroutines / dropped ``create_task`` handles
+REP010 instance-state mutation torn across an ``await`` without a lock
+REP011 wire-protocol drift: ``_handlers`` vs ``_op_*`` vs SERVING.md
+REP012 schema/version constants vs committed artifacts and docs
 ====== ============================================================
+
+REP001-REP007 are per-file passes; REP008-REP012 are *project* rules
+running over a whole-program :class:`~repro.lintkit.project.
+ProjectContext` (cross-module imports, call graph, async coloring).
 
 Run it as ``python -m repro lint`` or ``python -m repro.lintkit``; the
 rule catalog and suppression workflow are documented in
@@ -30,6 +40,7 @@ from repro.lintkit.framework import (
     Rule,
     lint_paths,
 )
+from repro.lintkit.project import ProjectContext, ProjectRule
 from repro.lintkit.report import render_json, render_text
 from repro.lintkit.rules import RULE_INDEX, default_rules
 
@@ -37,6 +48,8 @@ __all__ = [
     "Diagnostic",
     "FileContext",
     "LintResult",
+    "ProjectContext",
+    "ProjectRule",
     "RULE_INDEX",
     "Rule",
     "apply_baseline",

@@ -12,6 +12,16 @@ stops matching -- resurfacing the finding -- as soon as the offending
 line itself changes.  Identical offending lines in one file share a
 fingerprint; the entry's ``count`` caps how many the baseline absorbs.
 
+Because the path participates in the exact fingerprint, a pure file
+*rename* used to resurface every baselined finding in that file even
+though no offending line changed.  :func:`apply_baseline` therefore
+matches in two passes: exact fingerprints first, then a
+**content-anchored fallback** keyed on ``code + snippet`` alone (the
+recipe behind :attr:`~repro.lintkit.framework.Diagnostic.
+content_fingerprint`), recomputed from the entry's recorded fields --
+no schema change.  Entry counts are a shared budget across both passes,
+so a rename plus a pasted duplicate still surfaces the duplicate.
+
 Workflow::
 
     python -m repro lint --write-baseline          # record current findings
@@ -22,6 +32,7 @@ Workflow::
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -83,24 +94,63 @@ def load_baseline(path: str | Path) -> dict:
     return document
 
 
+def _entry_content_key(entry: dict) -> str | None:
+    """Path-independent fallback key for a baseline entry.
+
+    Mirrors :attr:`Diagnostic.content_fingerprint` exactly, rebuilt from
+    the entry's recorded ``code`` and ``snippet`` so baselines written
+    before the rename fix still participate in fallback matching.
+    """
+    code = entry.get("code")
+    snippet = entry.get("snippet")
+    if not isinstance(code, str) or not isinstance(snippet, str):
+        return None
+    basis = f"{code}::{snippet}"
+    return hashlib.sha1(basis.encode("utf-8")).hexdigest()[:16]
+
+
 def apply_baseline(
     diagnostics: list[Diagnostic], baseline: dict
 ) -> tuple[list[Diagnostic], int]:
     """Split findings into (surviving, number suppressed by the baseline).
 
-    Each baseline entry absorbs at most ``count`` findings with its
-    fingerprint; any excess (the same bad line pasted again) survives.
+    Each baseline entry absorbs at most ``count`` findings.  Matching is
+    two-pass: pass one spends exact fingerprints (path + code +
+    snippet); pass two lets leftover budget absorb findings whose
+    *content* fingerprint (code + snippet, path-free) matches an entry,
+    so a file rename does not resurface its grandfathered findings.  The
+    budget is shared: a renamed finding and a freshly pasted duplicate
+    compete for the same count, and the excess one survives.
     """
+    entries = baseline.get("entries", {})
     budget = {
         fingerprint: int(entry.get("count", 1))
-        for fingerprint, entry in baseline.get("entries", {}).items()
+        for fingerprint, entry in entries.items()
     }
+    # Pass 1: exact matches spend their own entry's budget.
+    fallback: list[Diagnostic] = []
     kept: list[Diagnostic] = []
     suppressed = 0
     for diag in diagnostics:
         remaining = budget.get(diag.fingerprint, 0)
         if remaining > 0:
             budget[diag.fingerprint] = remaining - 1
+            suppressed += 1
+        else:
+            fallback.append(diag)
+    # Pass 2: leftover budget, pooled by content key, absorbs renames.
+    content_budget: dict[str, int] = {}
+    for fingerprint in sorted(budget):
+        remaining = budget[fingerprint]
+        if remaining <= 0:
+            continue
+        key = _entry_content_key(entries[fingerprint])
+        if key is not None:
+            content_budget[key] = content_budget.get(key, 0) + remaining
+    for diag in fallback:
+        remaining = content_budget.get(diag.content_fingerprint, 0)
+        if remaining > 0:
+            content_budget[diag.content_fingerprint] = remaining - 1
             suppressed += 1
         else:
             kept.append(diag)

@@ -5,19 +5,23 @@ Reached two ways with identical flags::
     python -m repro lint [paths...] [--format text|json] [--baseline PATH]
                          [--select CODES] [--ignore CODES] [--output PATH]
                          [--write-baseline [PATH]] [--no-baseline]
-                         [--list-rules]
+                         [--changed [REF]] [--jobs N] [--list-rules]
     python -m repro.lintkit ...        # standalone, same interface
 
 With no paths, ``src/repro`` (then ``src``, then ``.``) is linted.  A
 ``lintkit-baseline.json`` in the current directory is applied
 automatically; ``--no-baseline`` disables it and ``--baseline PATH``
-points elsewhere.  Exit codes: 0 clean, 1 findings (or parse errors),
-2 usage errors.
+points elsewhere.  ``--changed [REF]`` lints only the Python files
+touched since a git ref (default ``HEAD``), plus untracked ones -- the
+sub-second pre-commit mode.  ``--jobs N`` parses files in N processes;
+diagnostics are identical regardless.  Exit codes: 0 clean, 1 findings
+(or parse errors), 2 usage errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
@@ -71,9 +75,40 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule codes to skip",
     )
     parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="lint only Python files changed since REF (default HEAD) "
+        "plus untracked ones; mutually exclusive with explicit paths",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse files in N worker processes (default 1); "
+        "results are identical to a serial run",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+
+
+def _changed_python_files(ref: str) -> list[str]:
+    """Python files touched relative to ``ref``, plus untracked ones.
+
+    Raises ``subprocess.CalledProcessError`` when git is unavailable or
+    the ref does not resolve; paths are repo-root-relative as git prints
+    them, deduplicated, sorted, and filtered to files that still exist
+    (a deleted file has nothing left to lint).
+    """
+    commands = (
+        ["git", "diff", "--name-only", "-z", ref, "--", "*.py"],
+        ["git", "ls-files", "--others", "--exclude-standard", "-z", "--", "*.py"],
+    )
+    seen: set[str] = set()
+    for command in commands:
+        out = subprocess.run(
+            command, check=True, capture_output=True, text=True
+        ).stdout
+        seen.update(name for name in out.split("\0") if name)
+    return sorted(name for name in seen if Path(name).is_file())
 
 
 def _default_paths() -> list[str]:
@@ -109,12 +144,31 @@ def run_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         _print_rules()
         return 0
-    paths = args.paths or _default_paths()
+    changed = getattr(args, "changed", None)
+    if changed is not None:
+        if args.paths:
+            print(
+                "error: --changed and explicit paths are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            paths = _changed_python_files(changed)
+        except (subprocess.CalledProcessError, FileNotFoundError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            print(f"error: --changed {changed}: {detail.strip()}", file=sys.stderr)
+            return 2
+        if not paths:
+            print(f"no Python files changed since {changed}; nothing to lint")
+            return 0
+    else:
+        paths = args.paths or _default_paths()
     try:
         result = lint_paths(
             paths,
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
+            jobs=max(1, getattr(args, "jobs", 1) or 1),
         )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -158,7 +212,7 @@ def main(argv: list[str] | None = None) -> int:
     """Standalone entry point (``python -m repro.lintkit``)."""
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Determinism & invariant linter (REP001-REP006) "
+        description="Determinism & invariant linter (REP001-REP012) "
         "for the repro codebase",
     )
     add_lint_arguments(parser)

@@ -12,7 +12,11 @@ repo-specific rules in :mod:`repro.lintkit.rules` share:
   so N rules never mean N parses;
 * :class:`Rule` -- the visitor-style base class.  ``check(ctx)`` yields
   per-file findings; ``finalize()`` yields cross-file findings for rules
-  that correlate state between modules (REP003, REP006);
+  that correlate state between modules (REP003, REP006).  Rules that
+  need the resolved call graph subclass
+  :class:`~repro.lintkit.project.ProjectRule` instead and implement
+  ``check_project`` over the shared
+  :class:`~repro.lintkit.project.ProjectContext`;
 * :class:`Diagnostic` -- one finding with file/line/col, the offending
   source snippet, a fix hint, and a content *fingerprint* (path + code +
   snippet) that the baseline machinery matches on, so recorded findings
@@ -26,7 +30,11 @@ Suppression pragma::
 
 A pragma suppresses the listed codes (or every code, with ``allow[*]``)
 on its own line and on the line directly below it, so a justification
-comment may sit above a long statement.  See ``docs/LINTING.md``.
+comment may sit above a long statement.  For findings anchored at
+multi-line constructs the window extends over the whole span -- a pragma
+on the closing line of a wrapped call works -- and for decorated defs it
+extends up from the first decorator, so the comment may sit above the
+decorator stack.  See ``docs/LINTING.md``.
 """
 
 from __future__ import annotations
@@ -61,11 +69,23 @@ class Diagnostic:
     snippet: str = ""
     #: How to fix (or legitimately suppress) the finding.
     fix_hint: str = ""
+    #: Last line of the anchoring construct (0: same as ``line``).  Only
+    #: widens the pragma-suppression window; excluded from reports.
+    end_line: int = 0
+    #: First line pragmas may sit above (0: same as ``line``); for
+    #: decorated defs this is the first decorator's line.
+    pragma_start: int = 0
 
     @property
     def fingerprint(self) -> str:
         """Content hash the baseline matches on (stable across line drift)."""
         payload = f"{self.path}::{self.code}::{self.snippet}"
+        return hashlib.sha1(payload.encode()).hexdigest()[:16]
+
+    @property
+    def content_fingerprint(self) -> str:
+        """Path-free hash (code + snippet): the baseline's rename fallback."""
+        payload = f"{self.code}::{self.snippet}"
         return hashlib.sha1(payload.encode()).hexdigest()[:16]
 
     def sort_key(self) -> tuple:
@@ -94,13 +114,16 @@ class Diagnostic:
 class FileContext:
     """One parsed source file, shared by every rule."""
 
-    def __init__(self, path: Path, rel: str, source: str) -> None:
+    def __init__(
+        self, path: Path, rel: str, source: str, tree: ast.Module | None = None
+    ) -> None:
         self.path = path
         #: Posix-style path relative to the lint root (diagnostic ``path``).
         self.rel = rel
         self.source = source
         self.lines = source.splitlines()
-        self.tree = ast.parse(source)
+        #: Parsed once here, or handed in pre-parsed (parallel parsing).
+        self.tree = ast.parse(source) if tree is None else tree
         #: line -> codes allowed on that line (``{"*"}`` allows everything).
         self.pragmas: dict[int, set[str]] = _parse_pragmas(self.lines)
 
@@ -115,9 +138,19 @@ class FileContext:
         Pragmas apply to their own line and to the line directly below,
         so a justification may precede a long statement.
         """
-        for pragma_line in (line, line - 1):
-            codes = self.pragmas.get(pragma_line)
-            if codes and ("*" in codes or code in codes):
+        return self.allowed_span(code, line, line)
+
+    def allowed_span(self, code: str, start: int, end: int) -> bool:
+        """Whether a pragma suppresses ``code`` anywhere in [start-1, end].
+
+        ``start``/``end`` bound the anchoring construct: a pragma may sit
+        on any of its lines, on its closing line (multi-line statements),
+        or on the line above ``start`` (above a decorator stack).
+        """
+        lo = min(start, end) - 1
+        hi = max(start, end)
+        for pragma_line, pragma_codes in self.pragmas.items():
+            if lo <= pragma_line <= hi and ("*" in pragma_codes or code in pragma_codes):
                 return True
         return False
 
@@ -132,6 +165,11 @@ class FileContext:
         """Build a finding anchored at ``node``."""
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0) + 1
+        end_line = getattr(node, "end_lineno", None) or line
+        pragma_start = line
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            pragma_start = min([d.lineno for d in decorators] + [line])
         return Diagnostic(
             code=code,
             message=message,
@@ -140,6 +178,8 @@ class FileContext:
             col=col,
             snippet=self.snippet_at(line),
             fix_hint=fix_hint,
+            end_line=end_line,
+            pragma_start=pragma_start,
         )
 
 
@@ -264,6 +304,33 @@ def _filter_codes(
     return True
 
 
+def _parse_source(payload: tuple[str, str]) -> tuple:
+    """Read and parse one file (module-level so it pickles to workers)."""
+    path_str, rel = payload
+    source = Path(path_str).read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return path_str, rel, source, None, (exc.msg, exc.lineno, exc.offset, exc.text)
+    return path_str, rel, source, tree, None
+
+
+def _parse_files(files: Sequence[Path], rels: Sequence[str], jobs: int) -> list[tuple]:
+    """Parse every file, optionally across ``jobs`` worker processes.
+
+    ``ast`` trees pickle, so workers parse and the parent assembles; the
+    result list preserves input order either way, keeping diagnostics
+    deterministic regardless of ``jobs``.
+    """
+    payloads = [(str(path), rel) for path, rel in zip(files, rels, strict=True)]
+    if jobs > 1 and len(payloads) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(_parse_source, payloads, chunksize=8))
+    return [_parse_source(payload) for payload in payloads]
+
+
 def lint_paths(
     paths: Iterable[str | Path],
     *,
@@ -271,52 +338,63 @@ def lint_paths(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
     rules: Sequence[Rule] | None = None,
+    jobs: int = 1,
 ) -> LintResult:
     """Run every rule over the Python files under ``paths``.
 
     ``select``/``ignore`` filter by rule code (select wins first, then
-    ignore removes).  Pragma suppression is always applied; baseline
-    suppression is layered on top by the CLI (see
-    :mod:`repro.lintkit.baseline`).  Each file is parsed exactly once.
+    ignore removes); rules whose code is filtered out never run at all.
+    Pragma suppression is always applied; baseline suppression is layered
+    on top by the CLI (see :mod:`repro.lintkit.baseline`).  Each file is
+    parsed exactly once, across ``jobs`` processes when ``jobs > 1``.
     """
     if rules is None:
         from repro.lintkit.rules import default_rules
 
         rules = default_rules()
-    for rule in rules:
-        rule.reset()
     select_set = {c.strip() for c in select} if select is not None else None
     ignore_set = {c.strip() for c in ignore} if ignore is not None else None
+    rules = [r for r in rules if _filter_codes(r.code, select_set, ignore_set)]
+    for rule in rules:
+        rule.reset()
 
     files = iter_python_files(paths)
     resolved_root = _resolve_root(files, root)
+    rels: list[str] = []
+    for path in files:
+        try:
+            rels.append(path.resolve().relative_to(resolved_root).as_posix())
+        except ValueError:
+            rels.append(path.as_posix())
     diagnostics: list[Diagnostic] = []
     contexts: dict[str, FileContext] = {}
-    for path in files:
-        resolved = path.resolve()
-        try:
-            rel = resolved.relative_to(resolved_root).as_posix()
-        except ValueError:
-            rel = path.as_posix()
-        source = path.read_text(encoding="utf-8")
-        try:
-            ctx = FileContext(path, rel, source)
-        except SyntaxError as exc:
+    for path_str, rel, source, tree, error in _parse_files(files, rels, jobs):
+        if error is not None:
+            msg, lineno, offset, text = error
             diagnostics.append(
                 Diagnostic(
                     code=PARSE_ERROR_CODE,
-                    message=f"file does not parse: {exc.msg}",
+                    message=f"file does not parse: {msg}",
                     path=rel,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
-                    snippet=(exc.text or "").strip(),
+                    line=lineno or 1,
+                    col=(offset or 0) + 1,
+                    snippet=(text or "").strip(),
                     fix_hint="fix the syntax error; no rule ran on this file",
                 )
             )
             continue
+        ctx = FileContext(Path(path_str), rel, source, tree=tree)
         contexts[rel] = ctx
         for rule in rules:
             diagnostics.extend(rule.check(ctx))
+
+    from repro.lintkit.project import ProjectContext, ProjectRule
+
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    if project_rules:
+        project = ProjectContext(list(contexts.values()), root=resolved_root)
+        for rule in project_rules:
+            diagnostics.extend(rule.check_project(project))
     for rule in rules:
         diagnostics.extend(rule.finalize())
 
@@ -326,7 +404,9 @@ def lint_paths(
         if not _filter_codes(diag.code, select_set, ignore_set):
             continue
         ctx = contexts.get(diag.path)
-        if ctx is not None and ctx.allowed(diag.code, diag.line):
+        if ctx is not None and ctx.allowed_span(
+            diag.code, diag.pragma_start or diag.line, max(diag.end_line, diag.line)
+        ):
             suppressed += 1
             continue
         kept.append(diag)

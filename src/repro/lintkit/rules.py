@@ -1,18 +1,24 @@
-"""The REP001-REP007 rule set: repo-specific determinism & invariant checks.
+"""The REP001-REP012 rule set: repo-specific determinism & invariant checks.
 
 Each rule is a small :class:`~repro.lintkit.framework.Rule` subclass over
-the shared single-parse framework.  The catalog (rationale, examples,
-suppression guidance) lives in ``docs/LINTING.md``; the docstrings here
-are the normative short form.
+the shared single-parse framework; REP008-REP012 are
+:class:`~repro.lintkit.project.ProjectRule` subclasses over the resolved
+call graph.  The catalog (rationale, examples, suppression guidance)
+lives in ``docs/LINTING.md``; the docstrings here are the normative
+short form.
 """
 
 from __future__ import annotations
 
 import ast
+import json
 import re
+from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterator
 
 from repro.lintkit.framework import Diagnostic, FileContext, Rule
+from repro.lintkit.project import FunctionInfo, ProjectContext, ProjectRule
 
 # ----------------------------------------------------------------------
 # shared AST helpers
@@ -740,6 +746,706 @@ class SlowIdiomRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# REP008: blocking calls reachable from async functions
+# ----------------------------------------------------------------------
+
+#: Canonical dotted names that block the calling thread -- poison for an
+#: event loop.  Extend freely; each entry must be a *canonical* origin
+#: (what :class:`~repro.lintkit.project.ModuleImports` resolves to).
+_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.getoutput",
+    "subprocess.getstatusoutput", "subprocess.Popen",
+    "os.system", "os.popen", "os.wait", "os.waitpid",
+    "socket.create_connection", "socket.getaddrinfo",
+    "socket.gethostbyname", "socket.gethostbyaddr",
+    "urllib.request.urlopen",
+    "numpy.load", "numpy.save", "numpy.savez", "numpy.savez_compressed",
+    "numpy.loadtxt", "numpy.savetxt", "numpy.genfromtxt",
+    "shutil.copy", "shutil.copy2", "shutil.copyfile", "shutil.copytree",
+    "shutil.move", "shutil.rmtree",
+    "requests.get", "requests.post", "requests.put", "requests.delete",
+    "requests.head", "requests.request",
+})
+
+#: Method names that are file I/O wherever they appear (Path and friends).
+_BLOCKING_METHODS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+#: Builtins that block (unshadowed bare-name calls).
+_BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+_REP008_HINT = (
+    "offload with 'await asyncio.to_thread(...)' or "
+    "loop.run_in_executor(...), or justify with "
+    "'# lint: allow[REP008] -- <reason>'; see docs/LINTING.md#rep008"
+)
+
+
+class BlockingCallInAsyncRule(ProjectRule):
+    """REP008: blocking calls reachable from an ``async def``.
+
+    One ``time.sleep``/``subprocess.run``/``np.load``/``open`` anywhere
+    in a coroutine's *sync* call chain stalls every connection the event
+    loop serves -- and the transitive case is invisible to per-file lint.
+    This rule walks the project call graph from every ``async def``
+    through project-internal sync calls (async callees are their own
+    roots) and flags each blocking primitive it reaches, naming the
+    chain.  Calls handed to ``asyncio.to_thread``/``run_in_executor`` as
+    references never trip the rule: only *call sites* are traversed.
+    """
+
+    code = "REP008"
+    name = "blocking-call-in-async"
+    description = "sync blocking primitives (sleep/IO/subprocess) reachable from async defs"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        reported: set[tuple[str, int, int]] = set()
+        for qualname in sorted(project.functions):
+            root = project.functions[qualname]
+            if not root.is_async:
+                continue
+            yield from self._walk_from(project, root, reported)
+
+    def _walk_from(
+        self,
+        project: ProjectContext,
+        root: FunctionInfo,
+        reported: set[tuple[str, int, int]],
+    ) -> Iterator[Diagnostic]:
+        frontier: list[tuple[FunctionInfo, tuple[str, ...]]] = [(root, ())]
+        visited = {root.qualname}
+        while frontier:
+            current, chain = frontier.pop()
+            for call in current.calls:
+                if call.kind == "internal" and call.target is not None:
+                    callee = project.functions[call.target]
+                    if callee.is_async or callee.qualname in visited:
+                        continue  # async callees are analyzed as their own roots
+                    visited.add(callee.qualname)
+                    frontier.append((callee, chain + (callee.display,)))
+                    continue
+                reason = self._blocking_reason(call.kind, call.target, call.node)
+                if reason is None:
+                    continue
+                key = (current.ctx.rel, call.node.lineno, call.node.col_offset)
+                if key in reported:
+                    continue
+                reported.add(key)
+                if chain:
+                    via = " -> ".join(chain)
+                    message = (
+                        f"blocking call {reason} is reachable from async "
+                        f"'{root.display}' via {via}; it stalls the event loop"
+                    )
+                else:
+                    message = (
+                        f"blocking call {reason} inside async "
+                        f"'{root.display}' stalls the event loop"
+                    )
+                yield current.ctx.diagnostic(
+                    self.code, call.node, message, _REP008_HINT
+                )
+
+    @staticmethod
+    def _blocking_reason(
+        kind: str, target: str | None, node: ast.Call
+    ) -> str | None:
+        if kind == "external" and target in _BLOCKING_CALLS:
+            return f"{target}()"
+        if kind == "unknown":
+            if target in _BLOCKING_BUILTINS:
+                return f"builtin {target}()"
+            name = call_name(node)
+            if name in _BLOCKING_METHODS and isinstance(node.func, ast.Attribute):
+                return f".{name}() (file I/O)"
+        return None
+
+
+# ----------------------------------------------------------------------
+# REP009: unawaited coroutines / dropped task handles
+# ----------------------------------------------------------------------
+
+_TASK_SPAWNERS = frozenset({"asyncio.create_task", "asyncio.ensure_future"})
+_TASK_SPAWNER_METHODS = frozenset({"create_task", "ensure_future"})
+
+_REP009_HINT = (
+    "await the coroutine, or keep the create_task handle (await/cancel it "
+    "on shutdown) -- a dropped handle can be garbage-collected mid-flight "
+    "and its exceptions vanish; see docs/LINTING.md#rep009"
+)
+
+
+class DroppedCoroutineRule(ProjectRule):
+    """REP009: coroutine calls and task spawns whose result is dropped.
+
+    A bare ``coro_fn()`` statement builds a coroutine object and throws
+    it away (the body never runs -- Python warns only at GC time, at
+    runtime, maybe).  A bare ``asyncio.create_task(...)`` runs, but the
+    loop holds only a weak reference: the task can be collected mid-
+    flight and its exception is silently lost.  Both are resolved
+    statically here: the call graph knows which project functions are
+    ``async def``, so ``f()`` as an expression statement is flagged when
+    ``f`` is one, wherever ``f`` was imported from.
+    """
+
+    code = "REP009"
+    name = "dropped-coroutine"
+    description = "unawaited coroutine calls and unreferenced create_task handles"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        for qualname in sorted(project.functions):
+            fn = project.functions[qualname]
+            for call in fn.calls:
+                if not call.is_expr_stmt:
+                    continue
+                if call.kind == "internal" and call.target is not None:
+                    callee = project.functions[call.target]
+                    if callee.is_async:
+                        yield fn.ctx.diagnostic(
+                            self.code, call.node,
+                            f"coroutine '{callee.display}()' is created but "
+                            f"never awaited in '{fn.display}'",
+                            _REP009_HINT,
+                        )
+                    continue
+                if call.kind == "external" and call.target in _TASK_SPAWNERS:
+                    spawner = call.target
+                elif (
+                    call.kind == "unknown"
+                    and isinstance(call.node.func, ast.Attribute)
+                    and call.node.func.attr in _TASK_SPAWNER_METHODS
+                ):
+                    spawner = call.node.func.attr
+                else:
+                    continue
+                yield fn.ctx.diagnostic(
+                    self.code, call.node,
+                    f"task handle from {spawner}(...) is dropped in "
+                    f"'{fn.display}'",
+                    _REP009_HINT,
+                )
+
+
+# ----------------------------------------------------------------------
+# REP010: instance state torn across an await point
+# ----------------------------------------------------------------------
+
+#: Method names that mutate their receiver in place.  Deliberately
+#: conservative: ``close``/``cancel``/``write`` are lifecycle/IO verbs,
+#: not state the paper's torn-read property covers.
+_MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend", "insert",
+    "pop", "popleft", "put_nowait", "remove", "setdefault", "update",
+})
+
+_REP010_HINT = (
+    "hold an asyncio.Lock across the whole section "
+    "('async with self._lock:'), or regroup the mutations so related "
+    "fields change between awaits, not around one; "
+    "see docs/LINTING.md#rep010"
+)
+
+
+@dataclass
+class _TornState:
+    """Dataflow summary while scanning one coroutine body."""
+
+    seen_mut: bool = False
+    await_after_mut: bool = False
+
+    def copy(self) -> "_TornState":
+        return _TornState(self.seen_mut, self.await_after_mut)
+
+    def merge(self, *branches: "_TornState") -> None:
+        for branch in branches:
+            self.seen_mut = self.seen_mut or branch.seen_mut
+            self.await_after_mut = self.await_after_mut or branch.await_after_mut
+
+    def note_await(self) -> None:
+        if self.seen_mut:
+            self.await_after_mut = True
+
+
+class TornAwaitStateRule(ProjectRule):
+    """REP010: ``self`` state mutated on both sides of an ``await``.
+
+    The serving layer's concurrency story is "batches apply in
+    synchronous code, so queries never see a half-applied batch"
+    (``docs/SERVING.md``).  A coroutine that mutates instance state,
+    suspends, and mutates again has broken that story: every other task
+    on the loop can run at the suspension point and observe the first
+    half without the second.  Mutations inside an ``async with`` whose
+    context manager's name contains ``lock`` are exempt -- that is the
+    documented fix.
+    """
+
+    code = "REP010"
+    name = "torn-await-state"
+    description = "instance-state mutations straddling an await without a lock"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        for qualname in sorted(project.functions):
+            fn = project.functions[qualname]
+            if not fn.is_async:
+                continue
+            findings: list[Diagnostic] = []
+            self._scan_body(fn, fn.node.body, _TornState(), False, findings)
+            yield from findings
+
+    # -- statement walk -------------------------------------------------
+    def _scan_body(
+        self,
+        fn: FunctionInfo,
+        body: list[ast.stmt],
+        state: _TornState,
+        locked: bool,
+        out: list[Diagnostic],
+    ) -> None:
+        for stmt in body:
+            self._scan_stmt(fn, stmt, state, locked, out)
+
+    def _scan_stmt(
+        self,
+        fn: FunctionInfo,
+        stmt: ast.stmt,
+        state: _TornState,
+        locked: bool,
+        out: list[Diagnostic],
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are scanned as their own functions
+        if isinstance(stmt, ast.AsyncWith):
+            # Entering awaits __aenter__; a lock-named manager then
+            # protects everything in its body.
+            holds_lock = any(
+                self._is_lock(item.context_expr) for item in stmt.items
+            )
+            state.note_await()
+            self._scan_body(fn, stmt.body, state, locked or holds_lock, out)
+            state.note_await()  # __aexit__ suspends too
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._scan_leaf_expr(fn, item.context_expr, state, locked, out)
+            self._scan_body(fn, stmt.body, state, locked, out)
+            return
+        if isinstance(stmt, ast.If):
+            self._scan_leaf_expr(fn, stmt.test, state, locked, out)
+            then_state, else_state = state.copy(), state.copy()
+            self._scan_body(fn, stmt.body, then_state, locked, out)
+            self._scan_body(fn, stmt.orelse, else_state, locked, out)
+            state.merge(then_state, else_state)
+            return
+        if isinstance(stmt, (ast.For, ast.While, ast.AsyncFor)):
+            header = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) else stmt.test
+            self._scan_leaf_expr(fn, header, state, locked, out)
+            if isinstance(stmt, ast.AsyncFor):
+                state.note_await()  # __anext__ suspends every iteration
+            body_state, else_state = state.copy(), state.copy()
+            self._scan_body(fn, stmt.body, body_state, locked, out)
+            self._scan_body(fn, stmt.orelse, else_state, locked, out)
+            state.merge(body_state, else_state)
+            return
+        if isinstance(stmt, ast.Try):
+            self._scan_body(fn, stmt.body, state, locked, out)
+            branch_states = []
+            for handler in stmt.handlers:
+                handler_state = state.copy()
+                self._scan_body(fn, handler.body, handler_state, locked, out)
+                branch_states.append(handler_state)
+            else_state = state.copy()
+            self._scan_body(fn, stmt.orelse, else_state, locked, out)
+            branch_states.append(else_state)
+            state.merge(*branch_states)
+            self._scan_body(fn, stmt.finalbody, state, locked, out)
+            return
+        # Leaf statement: awaits suspend first, then sync stores land.
+        self._scan_leaf_expr(fn, stmt, state, locked, out)
+
+    def _scan_leaf_expr(
+        self,
+        fn: FunctionInfo,
+        node: ast.AST,
+        state: _TornState,
+        locked: bool,
+        out: list[Diagnostic],
+    ) -> None:
+        """Events of one statement/expression: awaits suspend, then stores land."""
+        awaited_calls: set[int] = set()
+        has_await = False
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(sub, ast.Await):
+                has_await = True
+                if isinstance(sub.value, ast.Call):
+                    awaited_calls.add(id(sub.value))
+        if has_await:
+            state.note_await()
+        for target, anchor in self._mutations(node, awaited_calls):
+            if locked:
+                continue
+            if state.await_after_mut:
+                out.append(
+                    fn.ctx.diagnostic(
+                        self.code, anchor,
+                        f"'{target}' is mutated after an await in async "
+                        f"'{fn.display}', and earlier mutations precede that "
+                        "await -- a concurrent task can observe the torn state",
+                        _REP010_HINT,
+                    )
+                )
+            state.seen_mut = True
+
+    def _mutations(
+        self, node: ast.AST, awaited_calls: set[int]
+    ) -> Iterator[tuple[str, ast.AST]]:
+        """(description, anchor) for every sync ``self``-state mutation."""
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in self._flatten_targets(targets):
+                    if self._self_rooted(target):
+                        yield dotted_name(target) or "self attribute", sub
+            elif isinstance(sub, ast.Delete):
+                for target in sub.targets:
+                    if self._self_rooted(target):
+                        yield dotted_name(target) or "self attribute", sub
+            elif isinstance(sub, ast.Call) and id(sub) not in awaited_calls:
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATOR_METHODS
+                    and self._self_rooted(func.value)
+                ):
+                    receiver = dotted_name(func.value) or "self attribute"
+                    yield f"{receiver}.{func.attr}(...)", sub
+
+    @staticmethod
+    def _flatten_targets(targets: list[ast.AST]) -> Iterator[ast.AST]:
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                yield from TornAwaitStateRule._flatten_targets(list(target.elts))
+            else:
+                yield target
+
+    @staticmethod
+    def _self_rooted(node: ast.AST) -> bool:
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        return isinstance(node, ast.Name) and node.id in ("self", "cls")
+
+    @staticmethod
+    def _is_lock(expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        dotted = dotted_name(expr)
+        return dotted is not None and "lock" in dotted.lower()
+
+
+# ----------------------------------------------------------------------
+# REP011: wire-protocol contract coverage
+# ----------------------------------------------------------------------
+
+#: ``| `op` | ...`` rows of the docs/SERVING.md protocol table.
+_DOC_OP_RE = re.compile(r"^\|\s*`([A-Za-z0-9_]+)`\s*\|")
+
+_REP011_HINT = (
+    "an op exists when all three agree: the _handlers dict, an _op_<name> "
+    "method, and a row in the docs/SERVING.md protocol table; "
+    "see docs/LINTING.md#rep011"
+)
+
+
+class WireProtocolRule(ProjectRule):
+    """REP011: the service's op table, handlers, and docs must agree.
+
+    Collects the string keys of any ``self._handlers = {...}`` dict, the
+    class's ``_op_*`` methods, every string-literal op a client passes to
+    ``.call(...)``/``.request(...)``, and the backticked op rows of
+    ``docs/SERVING.md``.  Any op present in one place and missing in
+    another is protocol drift: an undocumented op, a dead handler
+    method, a documented op nobody dispatches, or a client calling an op
+    the service does not serve.
+    """
+
+    code = "REP011"
+    name = "wire-protocol-drift"
+    description = "service _handlers keys vs _op_* methods vs docs/SERVING.md table"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        tables = self._handler_tables(project)
+        if not tables:
+            return  # no service in this lint scope; nothing to cross-check
+        for ctx, dict_node, keys, referenced, methods in tables:
+            doc_ops = self._documented_ops(project.root)
+            for op in sorted(set(methods) - referenced):
+                yield ctx.diagnostic(
+                    self.code, methods[op],
+                    f"handler method '_op_{op}' is not registered in "
+                    "_handlers (dead op: nothing dispatches it)",
+                    _REP011_HINT,
+                )
+            if doc_ops is not None:
+                for op in sorted(set(keys) - doc_ops):
+                    yield ctx.diagnostic(
+                        self.code, keys[op],
+                        f"op '{op}' is dispatched but has no row in the "
+                        "docs/SERVING.md protocol table",
+                        _REP011_HINT,
+                    )
+                for op in sorted(doc_ops - set(keys)):
+                    yield ctx.diagnostic(
+                        self.code, dict_node,
+                        f"docs/SERVING.md documents op '{op}', which the "
+                        "service does not dispatch",
+                        _REP011_HINT,
+                    )
+            yield from self._check_client_literals(project, set(keys))
+
+    @staticmethod
+    def _handler_tables(project: ProjectContext):
+        """Every ``self._handlers = {str: self._op_x}`` assignment found."""
+        tables = []
+        for rel in sorted(project.contexts):
+            ctx = project.contexts[rel]
+            for class_node in ast.walk(ctx.tree):
+                if not isinstance(class_node, ast.ClassDef):
+                    continue
+                dict_node, keys, referenced = None, {}, set()
+                for sub in ast.walk(class_node):
+                    if not isinstance(sub, ast.Assign):
+                        continue
+                    is_handlers = any(
+                        isinstance(t, ast.Attribute) and t.attr == "_handlers"
+                        for t in sub.targets
+                    )
+                    if not is_handlers or not isinstance(sub.value, ast.Dict):
+                        continue
+                    dict_node = sub
+                    for key, value in zip(
+                        sub.value.keys, sub.value.values, strict=True
+                    ):
+                        if isinstance(key, ast.Constant) and isinstance(
+                            key.value, str
+                        ):
+                            keys[key.value] = key
+                        if isinstance(value, ast.Attribute) and value.attr.startswith(
+                            "_op_"
+                        ):
+                            referenced.add(value.attr[len("_op_"):])
+                if dict_node is None:
+                    continue
+                methods = {
+                    item.name[len("_op_"):]: item
+                    for item in class_node.body
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name.startswith("_op_")
+                }
+                tables.append((ctx, dict_node, keys, referenced, methods))
+        return tables
+
+    @staticmethod
+    def _documented_ops(root: Path) -> set[str] | None:
+        doc = root / "docs" / "SERVING.md"
+        if not doc.is_file():
+            return None  # fixture trees have no docs; skip the doc leg
+        ops = set()
+        for line in doc.read_text(encoding="utf-8").splitlines():
+            match = _DOC_OP_RE.match(line.strip())
+            if match:
+                ops.add(match.group(1))
+        return ops
+
+    def _check_client_literals(
+        self, project: ProjectContext, known_ops: set[str]
+    ) -> Iterator[Diagnostic]:
+        for qualname in sorted(project.functions):
+            fn = project.functions[qualname]
+            for call in fn.calls:
+                func = call.node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in ("call", "request"):
+                    continue
+                args = call.node.args
+                if not args or not isinstance(args[0], ast.Constant):
+                    continue
+                op = args[0].value
+                if not isinstance(op, str) or op in known_ops:
+                    continue
+                yield fn.ctx.diagnostic(
+                    self.code, call.node,
+                    f"client calls op '{op}', which no _handlers table "
+                    "dispatches",
+                    _REP011_HINT,
+                )
+
+
+# ----------------------------------------------------------------------
+# REP012: schema/version-literal drift
+# ----------------------------------------------------------------------
+
+#: (constant name, module-path suffix, committed artifact at the root).
+_ARTIFACT_CONTRACTS = (
+    ("SCHEMA_VERSION", "experiments/benchperf.py", "BENCH_perf.json"),
+    ("SCHEMA_VERSION", "experiments/benchscale.py", "BENCH_scale.json"),
+    ("SCHEMA_VERSION", "serving/benchserve.py", "BENCH_serve.json"),
+    ("BASELINE_SCHEMA_VERSION", "lintkit/baseline.py", "lintkit-baseline.json"),
+)
+
+#: (constant name, module-path suffix, doc at the root, extraction regex).
+_DOC_CONTRACTS = (
+    (
+        "MANIFEST_SCHEMA_VERSION", "experiments/runner.py",
+        "docs/PIPELINE.md", re.compile(r'"schema_version":\s*(\d+)'),
+    ),
+    (
+        "GENERATOR_VERSION", "workloads/generator.py",
+        "docs/PIPELINE.md", re.compile(r'"generator_version":\s*"([^"]+)"'),
+    ),
+    (
+        "TRACE_FORMAT_VERSION", "telemetry/io.py",
+        "docs/TRACE_FORMAT.md", re.compile(r"format v(\d+)"),
+    ),
+)
+
+_WATCHED_CONSTANTS = frozenset(
+    {name for name, _suffix, _artifact in _ARTIFACT_CONTRACTS}
+    | {name for name, _suffix, _doc, _pattern in _DOC_CONTRACTS}
+)
+
+_REP012_HINT = (
+    "bump code constant, committed artifact, and docs together -- a "
+    "version literal that drifts silently breaks the refuse-to-compare "
+    "contract; see docs/LINTING.md#rep012"
+)
+
+
+class VersionDriftRule(ProjectRule):
+    """REP012: version constants vs committed artifacts and docs.
+
+    Every schema-versioned contract in the repo -- ``BENCH_*.json``
+    artifacts, the lint baseline, manifest v3, the trace format, the
+    generator version -- exists so that mismatched producers and
+    consumers *refuse to compare* instead of guessing.  That only works
+    while the literals agree.  This rule pins each version constant to
+    its committed artifact's ``schema_version`` field and to the version
+    literals quoted in the docs; missing artifacts (fixture trees) skip
+    silently, malformed ones are findings.
+    """
+
+    code = "REP012"
+    name = "version-literal-drift"
+    description = "schema/version constants vs committed BENCH_*.json, baseline, and docs"
+
+    def reset(self) -> None:
+        #: constant name -> [(ctx, assign node, value)].
+        self._constants: dict[str, list[tuple[FileContext, ast.AST, object]]] = {}
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Constant
+            ):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in _WATCHED_CONSTANTS
+                ):
+                    self._constants.setdefault(target.id, []).append(
+                        (ctx, node, node.value.value)
+                    )
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        for name, suffix, artifact in _ARTIFACT_CONTRACTS:
+            for ctx, node, value in self._sites(name, suffix):
+                yield from self._check_artifact(
+                    ctx, node, name, value, project.root / artifact, artifact
+                )
+        for name, suffix, doc, pattern in _DOC_CONTRACTS:
+            for ctx, node, value in self._sites(name, suffix):
+                yield from self._check_doc(
+                    ctx, node, name, value, project.root / doc, doc, pattern
+                )
+
+    def _sites(self, name: str, suffix: str):
+        return [
+            (ctx, node, value)
+            for ctx, node, value in self._constants.get(name, ())
+            if ctx.rel == suffix or ctx.rel.endswith("/" + suffix)
+        ]
+
+    def _check_artifact(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        name: str,
+        value: object,
+        path: Path,
+        label: str,
+    ) -> Iterator[Diagnostic]:
+        if not path.is_file():
+            return  # nothing committed in this tree; no contract to check
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            yield ctx.diagnostic(
+                self.code, node,
+                f"committed artifact {label} is unreadable: {exc}",
+                _REP012_HINT,
+            )
+            return
+        recorded = document.get("schema_version") if isinstance(document, dict) else None
+        if recorded is None:
+            yield ctx.diagnostic(
+                self.code, node,
+                f"committed artifact {label} carries no schema_version "
+                f"(code declares {name} = {value!r})",
+                _REP012_HINT,
+            )
+        elif recorded != value:
+            yield ctx.diagnostic(
+                self.code, node,
+                f"{name} = {value!r} but committed {label} records "
+                f"schema_version {recorded!r}",
+                _REP012_HINT,
+            )
+
+    def _check_doc(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        name: str,
+        value: object,
+        path: Path,
+        label: str,
+        pattern: re.Pattern,
+    ) -> Iterator[Diagnostic]:
+        if not path.is_file():
+            return
+        match = pattern.search(path.read_text(encoding="utf-8"))
+        if match is None:
+            return  # the doc no longer quotes the literal; nothing to pin
+        documented = match.group(1)
+        if str(value) != documented:
+            yield ctx.diagnostic(
+                self.code, node,
+                f"{name} = {value!r} but {label} documents {documented!r}",
+                _REP012_HINT,
+            )
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -754,6 +1460,11 @@ def default_rules() -> list[Rule]:
         UnsortedSinkIterationRule(),
         MetricNameRule(),
         SlowIdiomRule(),
+        BlockingCallInAsyncRule(),
+        DroppedCoroutineRule(),
+        TornAwaitStateRule(),
+        WireProtocolRule(),
+        VersionDriftRule(),
     ]
 
 

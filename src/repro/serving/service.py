@@ -140,6 +140,12 @@ class KnowledgeBaseService:
         )
         self._server: asyncio.base_events.Server | None = None
         self._ingest_task: asyncio.Task | None = None
+        #: Serializes start()/stop(): both mutate several related fields
+        #: (_server, _ingest_task, host, port) across awaits, and two
+        #: overlapping lifecycle transitions must never interleave --
+        #: e.g. concurrent start() calls would both pass the
+        #: already-started check before either assigns _server.
+        self._lifecycle_lock = asyncio.Lock()
         self.host: str | None = None
         self.port: int | None = None
         self._handlers = {
@@ -509,30 +515,32 @@ class KnowledgeBaseService:
         ``port=0`` (the default, and the only mode the tests use) lets the
         kernel pick a free port; the chosen one is reported back.
         """
-        if self._server is not None:
-            raise RuntimeError("service already started")
-        self._ingest_task = asyncio.create_task(self._ingest_loop())
-        self._server = await asyncio.start_server(
-            self._handle_client, host, port, limit=STREAM_LIMIT
-        )
-        sockname = self._server.sockets[0].getsockname()
-        self.host, self.port = sockname[0], sockname[1]
-        return self.host, self.port
+        async with self._lifecycle_lock:
+            if self._server is not None:
+                raise RuntimeError("service already started")
+            self._ingest_task = asyncio.create_task(self._ingest_loop())
+            self._server = await asyncio.start_server(
+                self._handle_client, host, port, limit=STREAM_LIMIT
+            )
+            sockname = self._server.sockets[0].getsockname()
+            self.host, self.port = sockname[0], sockname[1]
+            return self.host, self.port
 
     async def stop(self) -> None:
         """Drain pending ingest, then shut the server and consumer down."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        if self._ingest_task is not None:
-            await self._queue.join()
-            self._ingest_task.cancel()
-            try:
-                await self._ingest_task
-            except asyncio.CancelledError:
-                pass
-            self._ingest_task = None
+        async with self._lifecycle_lock:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+                self._server = None
+            if self._ingest_task is not None:
+                await self._queue.join()
+                self._ingest_task.cancel()
+                try:
+                    await self._ingest_task
+                except asyncio.CancelledError:
+                    pass
+                self._ingest_task = None
 
     async def _ingest_loop(self) -> None:
         while True:

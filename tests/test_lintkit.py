@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import ast
 import json
 import subprocess
 import sys
@@ -11,6 +12,7 @@ import pytest
 
 from repro.lintkit import (
     Diagnostic,
+    Rule,
     apply_baseline,
     build_baseline,
     lint_paths,
@@ -122,6 +124,58 @@ def test_pragma_suppresses_same_and_previous_line(tmp_path):
     assert codes(result) == ["REP002"]  # only the wrong-code line survives
     assert result.diagnostics[0].line == 5
     assert result.suppressed_pragma == 3
+
+
+def test_pragma_on_first_line_of_file(tmp_path):
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "from random import choice  # lint: allow[REP001] -- seeded upstream\n"
+    )})
+    assert codes(result) == []
+    assert result.suppressed_pragma == 1
+
+
+def test_pragma_on_multiline_statement_closing_line(tmp_path):
+    """A finding spanning lines accepts a pragma on its *closing* line."""
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "import time\n"
+        "a = time.time(\n"
+        ")  # lint: allow[REP002] -- pragma on the closing paren line\n"
+    )})
+    assert codes(result) == []
+    assert result.suppressed_pragma == 1
+
+
+class _EveryDefRule(Rule):
+    """Test-only rule anchoring a finding at every function definition."""
+
+    code = "TST001"
+    name = "every-def"
+    description = "flags each def (exercises decorated-def pragma spans)"
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.FunctionDef):
+                yield ctx.diagnostic(self.code, node, f"def {node.name}")
+
+
+def test_pragma_above_decorator_stack_covers_the_def(tmp_path):
+    """For decorated defs the pragma window starts above the *decorators*,
+    even though the diagnostic anchors at the ``def`` line itself."""
+    result = lint_snippets(tmp_path, {"mod.py": (
+        "# lint: allow[TST001] -- suppressed above the decorator stack\n"
+        "@property\n"
+        "@staticmethod\n"
+        "def covered():\n"
+        "    return 1\n"
+        "@property\n"
+        "def uncovered():\n"
+        "    return 2\n"
+        "def inline():  # lint: allow[TST001]\n"
+        "    return 3\n"
+    )}, rules=[_EveryDefRule()])
+    assert codes(result) == ["TST001"]
+    assert "uncovered" in result.diagnostics[0].message
+    assert result.suppressed_pragma == 2
 
 
 # ----------------------------------------------------------------------
@@ -432,6 +486,40 @@ def test_baseline_resurfaces_changed_lines_and_caps_counts(tmp_path):
     rerun = lint_paths([tmp_path / "mod.py"], root=tmp_path)
     kept, suppressed = apply_baseline(rerun.diagnostics, baseline)
     assert len(rerun.diagnostics) == 2 and suppressed == 1 and len(kept) == 1
+
+
+def test_baseline_survives_file_rename(tmp_path):
+    """Exact fingerprints embed the path, so a pure rename used to
+    resurface every baselined finding; the content-anchored fallback
+    (code + snippet) absorbs them -- but an edited line still surfaces."""
+    result = lint_snippets(tmp_path, {"old.py": _VIOLATION})
+    baseline = build_baseline(result.diagnostics)
+
+    (tmp_path / "old.py").rename(tmp_path / "renamed.py")
+    rerun = lint_paths([tmp_path], root=tmp_path)
+    kept, suppressed = apply_baseline(rerun.diagnostics, baseline)
+    assert kept == [] and suppressed == 1
+
+    # Rename *and* change the offending line: no grandfathering.
+    (tmp_path / "renamed.py").write_text("import time\nt = time.time() + 1\n")
+    rerun = lint_paths([tmp_path], root=tmp_path)
+    kept, suppressed = apply_baseline(rerun.diagnostics, baseline)
+    assert codes(rerun) == ["REP002"] and kept == rerun.diagnostics
+
+
+def test_baseline_rename_budget_is_shared_with_duplicates(tmp_path):
+    """A renamed finding and a pasted duplicate compete for one count."""
+    result = lint_snippets(tmp_path, {"old.py": _VIOLATION})
+    baseline = build_baseline(result.diagnostics)
+
+    (tmp_path / "old.py").unlink()
+    (tmp_path / "renamed.py").write_text(
+        "import time\nt = time.time()\nt = time.time()\n"
+    )
+    rerun = lint_paths([tmp_path], root=tmp_path)
+    assert len(rerun.diagnostics) == 2
+    kept, suppressed = apply_baseline(rerun.diagnostics, baseline)
+    assert suppressed == 1 and len(kept) == 1
 
 
 def test_baseline_rejects_malformed_documents(tmp_path):
